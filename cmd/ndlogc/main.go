@@ -1,0 +1,76 @@
+// ndlogc is the NDlog compiler front-end: it shows a program's
+// compilation pipeline — the source, the localization rewrite
+// (link-restricted splitting), and the ExSPAN provenance rewrite
+// (prov/ruleExec maintenance rules).
+//
+// Usage:
+//
+//	ndlogc -protocol mincost
+//	ndlogc program.ndlog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	nettrails "repro"
+)
+
+var builtins = map[string]string{
+	"mincost":        nettrails.MinCost,
+	"pathvector":     nettrails.PathVector,
+	"dsr":            nettrails.DSR,
+	"distancevector": nettrails.DistanceVector,
+}
+
+func main() {
+	protocol := flag.String("protocol", "", "builtin protocol: mincost, pathvector, dsr, distancevector")
+	stage := flag.String("stage", "all", "which stage to print: source, localized, provenance, all")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *protocol != "":
+		p, ok := builtins[*protocol]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ndlogc: unknown protocol %q\n", *protocol)
+			os.Exit(2)
+		}
+		src = p
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndlogc: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ndlogc [-stage source|localized|provenance|all] (-protocol NAME | FILE)")
+		os.Exit(2)
+	}
+
+	source, localized, withProv, err := nettrails.CompileReport(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndlogc: %v\n", err)
+		os.Exit(1)
+	}
+	show := func(title, body string) {
+		fmt.Printf("=== %s ===\n%s\n", title, body)
+	}
+	switch *stage {
+	case "source":
+		show("source", source)
+	case "localized":
+		show("localized", localized)
+	case "provenance":
+		show("provenance rewrite", withProv)
+	case "all":
+		show("source", source)
+		show("localized", localized)
+		show("provenance rewrite", withProv)
+	default:
+		fmt.Fprintf(os.Stderr, "ndlogc: unknown stage %q\n", *stage)
+		os.Exit(2)
+	}
+}

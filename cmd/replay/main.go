@@ -1,0 +1,146 @@
+// replay runs a demo scenario while periodically capturing system
+// snapshots into the central Log Store, then replays them — the
+// command-line analogue of the paper's interactive visualizer session
+// (pause the network at a time T, inspect a node's tables, drill into a
+// tuple's provenance).
+//
+// Usage:
+//
+//	replay -demo mincost           # Figure 2 walkthrough with churn
+//	replay -demo bgp               # legacy BGP scenario
+//	replay -demo mincost -at 3     # inspect the 3rd captured instant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	nettrails "repro"
+	"repro/internal/viz"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "replay: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	demo := flag.String("demo", "mincost", "mincost or bgp")
+	at := flag.Int("at", -1, "inspect the i-th captured instant (default: replay all)")
+	node := flag.String("node", "n1", "node to inspect at -at")
+	flag.Parse()
+
+	switch *demo {
+	case "mincost":
+		runMincost(*at, *node)
+	case "bgp":
+		runBGP()
+	default:
+		fail("unknown demo %q", *demo)
+	}
+}
+
+func runMincost(at int, node string) {
+	sys, err := nettrails.NewSystem(nettrails.MinCost, nettrails.NodeNames(4))
+	if err != nil {
+		fail("%v", err)
+	}
+	snapshotThen := func(step string, f func() error) {
+		if err := f(); err != nil {
+			fail("%s: %v", step, err)
+		}
+		if err := sys.Snapshot(); err != nil {
+			fail("snapshot after %s: %v", step, err)
+		}
+	}
+	snapshotThen("link n1-n2", func() error { return sys.AddLink("n1", "n2", 1) })
+	snapshotThen("link n2-n3", func() error { return sys.AddLink("n2", "n3", 1) })
+	snapshotThen("link n3-n4", func() error { return sys.AddLink("n3", "n4", 1) })
+	snapshotThen("link n1-n4", func() error { return sys.AddLink("n1", "n4", 5) })
+	snapshotThen("fail n2-n3", func() error { return sys.RemoveLink("n2", "n3", 1) })
+
+	times := sys.Log.Times()
+	fmt.Printf("captured %d instants over %d snapshots\n\n", len(times), sys.Log.Len())
+
+	if at >= 0 {
+		if at >= len(times) {
+			fail("-at %d out of range (have %d instants)", at, len(times))
+		}
+		view := sys.Log.At(times[at])
+		sn, ok := view[node]
+		if !ok {
+			fail("no snapshot of %s at instant %d", node, at)
+		}
+		fmt.Print(viz.TablesView(sn))
+		// Drill into the first mincost tuple, as in Figure 2(c).
+		if mcs := sn.Tables["mincost"]; len(mcs) > 0 {
+			fmt.Println()
+			fmt.Print(nettrails.RenderTupleCard(mcs[0], node))
+			res, err := sys.Lineage(node, mcs[0])
+			if err == nil {
+				fmt.Println("\ncurrent provenance:")
+				fmt.Print(nettrails.RenderProof(res.Root))
+			}
+		}
+		return
+	}
+	// Full replay ticker.
+	for i, tm := range times {
+		view := sys.Log.At(tm)
+		fmt.Printf("[%d] %s\n", i, viz.SnapshotSummary(tm, view))
+	}
+	fmt.Println("\nfinal topology:")
+	fmt.Print(sys.RenderTopology())
+}
+
+func runBGP() {
+	d, err := nettrails.NewBGPDeployment(
+		[]string{"AS1", "AS2", "AS3", "AS4"},
+		[]nettrails.ASLink{
+			{A: "AS1", B: "AS2", Rel: nettrails.PeerOf},
+			{A: "AS1", B: "AS3", Rel: nettrails.CustomerOf},
+			{A: "AS2", B: "AS4", Rel: nettrails.CustomerOf},
+		})
+	if err != nil {
+		fail("%v", err)
+	}
+	events, err := d.GenerateTrace(80, 7)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := d.ReplayTrace(events); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("replayed %d trace events\n", len(events))
+	for _, as := range d.Eng.Nodes() {
+		re, err := d.RouteEntries(as)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("%s: %d routing entries, %d updates sent, %d received\n",
+			as, len(re), d.Speakers[as].UpdatesSent, d.Speakers[as].UpdatesReceived)
+		if len(re) > 0 {
+			prefix, _ := re[0].Vals[1].AsString()
+			res, err := d.RouteLineage(as, prefix)
+			if err == nil {
+				fmt.Printf("  lineage of %s:\n", prefix)
+				fmt.Print(indent(nettrails.RenderProofFocused(res.Root, 4), "  "))
+			}
+		}
+	}
+}
+
+func indent(s, pad string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if start < i {
+				out += pad + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// Quickstart: run the MINCOST declarative protocol on a three-node
+// line, then ask NetTrails where a derived tuple came from — the
+// end-to-end path of the paper's Figure 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nettrails "repro"
+)
+
+func main() {
+	sys, err := nettrails.NewSystem(nettrails.MinCost, nettrails.NodeNames(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(sys.AddLink("n1", "n2", 1))
+	must(sys.AddLink("n2", "n3", 1))
+
+	fmt.Println("== mincost table at n1 ==")
+	tuples, err := sys.Tuples("n1", "mincost")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tuples {
+		fmt.Println("  ", t)
+	}
+
+	mc := nettrails.Tuple("mincost",
+		nettrails.Addr("n1"), nettrails.Addr("n3"), nettrails.Int(2))
+
+	fmt.Println("\n== lineage of", mc, "==")
+	res, err := sys.Lineage("n1", mc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(nettrails.RenderProof(res.Root))
+
+	bases, err := sys.BaseTuples("n1", mc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== contributing base tuples ==")
+	for _, b := range bases.Bases {
+		fmt.Printf("   %s (at %s)\n", b.Tuple, b.Loc)
+	}
+
+	nodes, err := sys.ParticipatingNodes("n1", mc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== participating nodes ==")
+	fmt.Println("  ", nodes.Nodes)
+
+	fmt.Println("\n== network after the query ==")
+	fmt.Print(sys.RenderTopology())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

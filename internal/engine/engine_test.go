@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/simnet"
+)
+
+const mincostSrc = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(cost, infinity, infinity, keys(1,2,3)).
+materialize(mincost, infinity, infinity, keys(1,2)).
+
+mc1 cost(@S,D,C) :- link(@S,D,C).
+mc2 cost(@S,D,C) :- link(@S,Z,C1), mincost(@Z,D,C2), S != D, C := C1 + C2, C < 64.
+mc3 mincost(@S,D,min<C>) :- cost(@S,D,C).
+`
+
+func newMincost(t *testing.T, nodes ...string) *Engine {
+	t.Helper()
+	e, err := New(mincostSrc, nodes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func findTuple(ts []rel.Tuple, s string) bool {
+	for _, tp := range ts {
+		if tp.String() == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMincostLineConverges(t *testing.T) {
+	e := newMincost(t, "n1", "n2", "n3")
+	for _, l := range [][2]string{{"n1", "n2"}, {"n2", "n3"}} {
+		if err := e.AddBiLink(l[0], l[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunQuiescent()
+	n1, _ := e.Node("n1")
+	mc, err := n1.Tuples("mincost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !findTuple(mc, "mincost(@n1, n2, 1)") || !findTuple(mc, "mincost(@n1, n3, 2)") {
+		t.Fatalf("n1 mincost = %v", mc)
+	}
+	// Pair-wise: every node knows costs to both others.
+	for _, addr := range e.Nodes() {
+		n, _ := e.Node(addr)
+		mc, _ := n.Tuples("mincost")
+		if len(mc) != 2 {
+			t.Fatalf("%s mincost = %v", addr, mc)
+		}
+	}
+}
+
+func TestMincostPrefersCheaperLongerPath(t *testing.T) {
+	e := newMincost(t, "n1", "n2", "n3")
+	// Direct n1-n3 costs 10; via n2 costs 2.
+	e.AddBiLink("n1", "n3", 10)
+	e.AddBiLink("n1", "n2", 1)
+	e.AddBiLink("n2", "n3", 1)
+	e.RunQuiescent()
+	n1, _ := e.Node("n1")
+	mc, _ := n1.Tuples("mincost")
+	if !findTuple(mc, "mincost(@n1, n3, 2)") {
+		t.Fatalf("n1 mincost = %v", mc)
+	}
+}
+
+func TestTopologyChangeRecomputesIncrementally(t *testing.T) {
+	e := newMincost(t, "n1", "n2", "n3")
+	e.AddBiLink("n1", "n3", 10)
+	e.AddBiLink("n1", "n2", 1)
+	e.AddBiLink("n2", "n3", 1)
+	e.RunQuiescent()
+	// Remove the cheap path; mincost must fall back to the direct link.
+	if err := e.RemoveBiLink("n2", "n3", 1); err != nil {
+		t.Fatal(err)
+	}
+	e.RunQuiescent()
+	n1, _ := e.Node("n1")
+	mc, _ := n1.Tuples("mincost")
+	if !findTuple(mc, "mincost(@n1, n3, 10)") {
+		t.Fatalf("n1 mincost after removal = %v", mc)
+	}
+	if findTuple(mc, "mincost(@n1, n3, 2)") {
+		t.Fatalf("stale mincost survived deletion: %v", mc)
+	}
+}
+
+// TestIncrementalEqualsRecompute is experiment E3's core invariant: the
+// state after incremental updates equals the state computed from scratch
+// on the final topology.
+func TestIncrementalEqualsRecompute(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	type op struct {
+		add  bool
+		a, b string
+		c    int64
+	}
+	script := []op{
+		{true, "n1", "n2", 1},
+		{true, "n2", "n3", 1},
+		{true, "n3", "n4", 1},
+		{true, "n1", "n4", 5},
+		{false, "n2", "n3", 1},
+		{true, "n2", "n4", 2},
+	}
+	incr := newMincost(t, nodes...)
+	for _, o := range script {
+		var err error
+		if o.add {
+			err = incr.AddBiLink(o.a, o.b, o.c)
+		} else {
+			err = incr.RemoveBiLink(o.a, o.b, o.c)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr.RunQuiescent()
+	}
+	// From scratch on the final topology.
+	fresh := newMincost(t, nodes...)
+	final := map[op]bool{}
+	for _, o := range script {
+		key := op{true, o.a, o.b, o.c}
+		final[key] = o.add
+	}
+	for o, present := range final {
+		if present {
+			if err := fresh.AddBiLink(o.a, o.b, o.c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fresh.RunQuiescent()
+	for _, relName := range []string{"mincost", "cost", "link"} {
+		a := tuplesString(incr.GlobalTuples(relName))
+		b := tuplesString(fresh.GlobalTuples(relName))
+		if a != b {
+			t.Errorf("%s diverges:\nincremental:\n%s\nfresh:\n%s", relName, a, b)
+		}
+	}
+}
+
+func tuplesString(ts []rel.Tuple) string {
+	var b strings.Builder
+	for _, tp := range ts {
+		b.WriteString(tp.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestProvenanceMaintainedAcrossNodes(t *testing.T) {
+	e := newMincost(t, "n1", "n2")
+	e.AddBiLink("n1", "n2", 3)
+	e.RunQuiescent()
+	n1, _ := e.Node("n1")
+	// mincost(@n1,n2,3) must have provenance at n1.
+	mc := rel.NewTuple("mincost", rel.Addr("n1"), rel.Addr("n2"), rel.Int(3))
+	derivs, ok := n1.Prov.Derivations(mc.VID())
+	if !ok || len(derivs) != 1 {
+		t.Fatalf("mincost derivations = %v %v", derivs, ok)
+	}
+	if derivs[0].RID.IsZero() {
+		t.Fatal("derived tuple has base provenance")
+	}
+	// The rule execution is local (mc3 runs at n1).
+	exec, ok := n1.Prov.Exec(derivs[0].RID)
+	if !ok || exec.Rule != "mc3" {
+		t.Fatalf("exec = %+v %v", exec, ok)
+	}
+	// Its input is the cost tuple, also resolvable at n1.
+	costT := rel.NewTuple("cost", rel.Addr("n1"), rel.Addr("n2"), rel.Int(3))
+	if len(exec.VIDs) != 1 || exec.VIDs[0] != costT.VID() {
+		t.Fatalf("exec inputs = %v", exec.VIDs)
+	}
+	if _, ok := n1.Prov.TupleOf(costT.VID()); !ok {
+		t.Fatal("input tuple not pinned")
+	}
+	if err := n1.Prov.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvenanceCleanedOnDeletion(t *testing.T) {
+	e := newMincost(t, "n1", "n2", "n3")
+	e.AddBiLink("n1", "n2", 1)
+	e.AddBiLink("n2", "n3", 1)
+	e.RunQuiescent()
+	e.RemoveBiLink("n2", "n3", 1)
+	e.RunQuiescent()
+	for _, addr := range e.Nodes() {
+		n, _ := e.Node(addr)
+		if err := n.Prov.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", addr, err)
+		}
+		// No provenance rows may reference n3-destined mincost tuples.
+		for _, tp := range n.Prov.ProvTuples() {
+			vid, _ := tp.Vals[1].AsID()
+			pinned, ok := n.Prov.TupleOf(vid)
+			if !ok {
+				t.Fatalf("%s: prov row with unpinned VID", addr)
+			}
+			if pinned.Rel == "mincost" || pinned.Rel == "cost" {
+				if d, _ := pinned.Vals[1].AsAddr(); d == "n3" && addr != "n3" {
+					t.Fatalf("%s: stale provenance for %s", addr, pinned)
+				}
+			}
+		}
+	}
+}
+
+func TestRemoteDerivationProvenancePointsAcrossNodes(t *testing.T) {
+	e := newMincost(t, "n1", "n2", "n3")
+	e.AddBiLink("n1", "n2", 1)
+	e.AddBiLink("n2", "n3", 1)
+	e.RunQuiescent()
+	n1, _ := e.Node("n1")
+	n2, _ := e.Node("n2")
+	// cost(@n1,n3,2) was derived by rule mc2 executing at... mc2 is
+	// localized: link(@S,Z) joins mincost(@Z,D) at Z after shipping, so
+	// the final rule execution happens at n1 or n2 depending on the
+	// split. Find the derivation and check the exec is resolvable at
+	// its RLoc.
+	costT := rel.NewTuple("cost", rel.Addr("n1"), rel.Addr("n3"), rel.Int(2))
+	derivs, ok := n1.Prov.Derivations(costT.VID())
+	if !ok || len(derivs) == 0 {
+		t.Fatalf("no derivations for %s", costT)
+	}
+	d := derivs[0]
+	var execStore = n1.Prov
+	if d.RLoc == "n2" {
+		execStore = n2.Prov
+	}
+	exec, ok := execStore.Exec(d.RID)
+	if !ok {
+		t.Fatalf("exec %s not found at %s", d.RID.Short(), d.RLoc)
+	}
+	// Every input of the exec must be pinned at the executing node.
+	for _, vid := range exec.VIDs {
+		if _, ok := execStore.TupleOf(vid); !ok {
+			t.Fatalf("input %s not pinned at %s", vid.Short(), d.RLoc)
+		}
+	}
+}
+
+func TestLoadProgramFacts(t *testing.T) {
+	src := mincostSrc + `
+f1 link(@'n1','n2',4).
+f2 link(@'n2','n1',4).
+`
+	e, err := New(src, []string{"n1", "n2"}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Net.Connect("n1", "n2", 1000)
+	if err := e.LoadProgramFacts(); err != nil {
+		t.Fatal(err)
+	}
+	e.RunQuiescent()
+	n1, _ := e.Node("n1")
+	mc, _ := n1.Tuples("mincost")
+	if !findTuple(mc, "mincost(@n1, n2, 4)") {
+		t.Fatalf("mincost = %v", mc)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := newMincost(t, "n1")
+	if err := e.InsertFact(rel.NewTuple("ghost", rel.Addr("n1"))); err == nil {
+		t.Fatal("undeclared relation must error")
+	}
+	if err := e.InsertFact(rel.NewTuple("link", rel.Addr("nX"), rel.Addr("n1"), rel.Int(1))); err == nil {
+		t.Fatal("unknown owner node must error")
+	}
+	if _, err := New("not ndlog (", []string{"a"}, DefaultOptions()); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+	if _, err := New(mincostSrc, []string{"a", "a"}, DefaultOptions()); err == nil {
+		t.Fatal("duplicate node must error")
+	}
+	if err := e.RegisterService(KindDelta, nil); err == nil {
+		t.Fatal("reserved kind must be rejected")
+	}
+	if err := e.RegisterService("q", func(*Node, simnet.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterService("q", func(*Node, simnet.Message) {}); err == nil {
+		t.Fatal("duplicate service must be rejected")
+	}
+}
+
+func TestKeyReplacementMirrorsProvenance(t *testing.T) {
+	src := `
+materialize(route, infinity, infinity, keys(1,2)).
+materialize(copy, infinity, infinity, keys(1,2,3)).
+r1 copy(@S,D,C) :- route(@S,D,C).
+`
+	e, err := New(src, []string{"n1"}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := e.Node("n1")
+	old := rel.NewTuple("route", rel.Addr("n1"), rel.Addr("d"), rel.Int(9))
+	newT := rel.NewTuple("route", rel.Addr("n1"), rel.Addr("d"), rel.Int(4))
+	if err := n1.InsertFact(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.InsertFact(newT); err != nil {
+		t.Fatal(err)
+	}
+	e.RunQuiescent()
+	if _, ok := n1.Prov.Derivations(old.VID()); ok {
+		t.Fatal("replaced tuple still has provenance")
+	}
+	if _, ok := n1.Prov.Derivations(newT.VID()); !ok {
+		t.Fatal("replacement tuple lacks provenance")
+	}
+	if err := n1.Prov.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaTrafficIsAccounted(t *testing.T) {
+	e := newMincost(t, "n1", "n2")
+	e.AddBiLink("n1", "n2", 1)
+	e.RunQuiescent()
+	kinds := e.Net.KindTotals()
+	if kinds[KindDelta].Messages == 0 {
+		t.Fatal("no delta traffic recorded")
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A MINCOST variant with a tight cost bound: random-churn tests delete
+// links on cyclic topologies, and every deletion climbs the mutual-
+// support costs up to the bound before draining (see protocols.MinCost
+// for the count-to-infinity discussion). A tight bound keeps the
+// worst-case churn small while exercising the same code paths.
+const mincostTight = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(cost, infinity, infinity, keys(1,2,3)).
+materialize(mincost, infinity, infinity, keys(1,2)).
+
+mc1 cost(@S,D,C) :- link(@S,D,C).
+mc2 cost(@S,D,C) :- link(@S,Z,C1), mincost(@Z,D,C2), S != D, C := C1 + C2, C < 8.
+mc3 mincost(@S,D,min<C>) :- cost(@S,D,C).
+`
+
+// TestProvenanceCountMatchesTableCount checks the central cross-layer
+// invariant of the platform under random topology churn: for every
+// visible tuple at every node, the table's derivation count equals the
+// total support recorded in the provenance partition. If these ever
+// diverge, provenance queries lie about the state.
+func TestProvenanceCountMatchesTableCount(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := []string{"n1", "n2", "n3", "n4"}
+		e, err := New(mincostTight, nodes, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		type edge struct {
+			a, b string
+			c    int64
+		}
+		var live []edge
+		for step := 0; step < 14; step++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				ed := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if err := e.RemoveBiLink(ed.a, ed.b, ed.c); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				a := nodes[rng.Intn(len(nodes))]
+				b := nodes[rng.Intn(len(nodes))]
+				if a == b || len(live) >= 4 {
+					continue
+				}
+				ed := edge{a, b, 1}
+				dup := false
+				for _, x := range live {
+					if (x.a == ed.a && x.b == ed.b) || (x.a == ed.b && x.b == ed.a) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				live = append(live, ed)
+				if err := e.AddBiLink(ed.a, ed.b, ed.c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.RunQuiescent()
+			checkCounts(t, e, seed, step)
+		}
+	}
+}
+
+func checkCounts(t *testing.T, e *Engine, seed int64, step int) {
+	t.Helper()
+	for _, addr := range e.Nodes() {
+		n, _ := e.Node(addr)
+		if err := n.Prov.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d step %d %s: %v", seed, step, addr, err)
+		}
+		for _, relName := range n.RT.Store.TableNames() {
+			tbl, err := n.RT.Store.Table(relName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tp := range tbl.Tuples() {
+				row, _ := tbl.Get(tp.VID())
+				support := n.Prov.SupportCount(tp.VID())
+				if row.Count != support {
+					t.Fatalf("seed %d step %d %s: %s table count %d != provenance support %d",
+						seed, step, addr, tp, row.Count, support)
+				}
+			}
+		}
+	}
+}

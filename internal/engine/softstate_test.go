@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/simnet"
+)
+
+// Soft state: materialize(link, 5, ...) gives base link tuples a
+// 5-second lifetime; derived state drains when they expire, and
+// re-insertion refreshes the lifetime — NDlog's soft-state semantics.
+const softSrc = `
+materialize(link, 5, infinity, keys(1,2)).
+materialize(reach, infinity, infinity, keys(1,2)).
+r1 reach(@S,D) :- link(@S,D,_).
+`
+
+func softLink() rel.Tuple {
+	return rel.NewTuple("link", rel.Addr("n1"), rel.Addr("n2"), rel.Int(1))
+}
+
+func TestSoftStateExpires(t *testing.T) {
+	e, err := New(softSrc, []string{"n1", "n2"}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := e.Node("n1")
+	if err := n1.InsertFact(softLink()); err != nil {
+		t.Fatal(err)
+	}
+	e.Net.RunUntil(4 * simnet.Second)
+	if got, _ := n1.Tuples("reach"); len(got) != 1 {
+		t.Fatalf("reach before expiry = %v", got)
+	}
+	e.Net.RunUntil(6 * simnet.Second)
+	if got, _ := n1.Tuples("link"); len(got) != 0 {
+		t.Fatalf("link after expiry = %v", got)
+	}
+	if got, _ := n1.Tuples("reach"); len(got) != 0 {
+		t.Fatalf("reach after expiry = %v", got)
+	}
+	if err := n1.Prov.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st := n1.Prov.Statistics(); st.ProvEntries != 0 {
+		t.Fatalf("stale provenance after expiry: %+v", st)
+	}
+}
+
+func TestSoftStateRefreshOnReinsert(t *testing.T) {
+	e, err := New(softSrc, []string{"n1", "n2"}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := e.Node("n1")
+	if err := n1.InsertFact(softLink()); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh at t=3s: the tuple must survive past the original t=5s
+	// deadline and expire at t=8s instead. Note the re-insert adds a
+	// second base derivation (count 2); expiry removes one support per
+	// insert generation... the refresh model here is: the re-insert
+	// replaces the old base support via key replacement (same key
+	// columns), so the count stays 1.
+	e.Net.RunUntil(3 * simnet.Second)
+	if err := n1.InsertFact(softLink()); err != nil {
+		t.Fatal(err)
+	}
+	e.Net.RunUntil(6 * simnet.Second)
+	if got, _ := n1.Tuples("link"); len(got) != 1 {
+		t.Fatalf("link should survive refresh window: %v", got)
+	}
+	e.Net.RunUntil(9 * simnet.Second)
+	if got, _ := n1.Tuples("link"); len(got) != 0 {
+		t.Fatalf("link after refreshed expiry = %v", got)
+	}
+	if err := n1.Prov.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftStateManualDeleteCancelsExpiry(t *testing.T) {
+	e, err := New(softSrc, []string{"n1", "n2"}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := e.Node("n1")
+	if err := n1.InsertFact(softLink()); err != nil {
+		t.Fatal(err)
+	}
+	e.Net.RunUntil(1 * simnet.Second)
+	if err := n1.DeleteFact(softLink()); err != nil {
+		t.Fatal(err)
+	}
+	// Re-insert after the manual delete: the new insertion's expiry
+	// governs; the original timer must not kill it early.
+	e.Net.RunUntil(2 * simnet.Second)
+	if err := n1.InsertFact(softLink()); err != nil {
+		t.Fatal(err)
+	}
+	e.Net.RunUntil(6 * simnet.Second) // original timer would fire at 5s
+	if got, _ := n1.Tuples("link"); len(got) != 1 {
+		t.Fatalf("link killed by stale timer: %v", got)
+	}
+	e.Net.RunUntil(8 * simnet.Second) // new timer fires at 7s
+	if got, _ := n1.Tuples("link"); len(got) != 0 {
+		t.Fatalf("link survived its refreshed lifetime: %v", got)
+	}
+}
+
+func TestBadLifetimeRejected(t *testing.T) {
+	bad := `
+materialize(link, -3, infinity, keys(1,2)).
+r1 reach(@S,D) :- link(@S,D,_).
+materialize(reach, infinity, infinity, keys(1,2)).
+`
+	if _, err := New(bad, []string{"n1"}, DefaultOptions()); err == nil {
+		t.Fatal("negative lifetime must be rejected")
+	}
+}
+
+func TestInfiniteLifetimeNeverExpires(t *testing.T) {
+	e := newMincost(t, "n1", "n2")
+	if err := e.AddBiLink("n1", "n2", 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Net.RunUntil(3600 * simnet.Second)
+	n1, _ := e.Node("n1")
+	if got, _ := n1.Tuples("link"); len(got) != 1 {
+		t.Fatalf("infinite-lifetime tuple expired: %v", got)
+	}
+}

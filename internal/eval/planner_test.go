@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// Planner edge cases: conditions and assignments must be deferred until
+// their variables are bound, regardless of which body atom triggers.
+
+func TestPlannerDefersConditionPastLaterAtom(t *testing.T) {
+	src := `
+materialize(a, infinity, infinity, keys(1,2)).
+materialize(b, infinity, infinity, keys(1,2,3)).
+materialize(h, infinity, infinity, keys(1,2)).
+r1 h(@S,Y) :- a(@S,X), X < 5, b(@S,X,Y), Y < 3.
+`
+	rt := newRT(t, "n", src)
+	// Trigger on b first: the condition X < 5 reads a's variable, which
+	// is only bound after joining a; the plan must defer it.
+	rt.InsertBase(rel.NewTuple("b", rel.Addr("n"), rel.Int(2), rel.Int(1)))
+	rt.InsertBase(rel.NewTuple("a", rel.Addr("n"), rel.Int(2)))
+	got := mustTuples(t, rt, "h")
+	if len(got) != 1 || got[0].String() != "h(@n, 1)" {
+		t.Fatalf("h = %v", got)
+	}
+	// Conditions filter on both trigger orders.
+	rt.InsertBase(rel.NewTuple("a", rel.Addr("n"), rel.Int(9)))
+	rt.InsertBase(rel.NewTuple("b", rel.Addr("n"), rel.Int(9), rel.Int(1)))
+	if got := mustTuples(t, rt, "h"); len(got) != 1 {
+		t.Fatalf("h after filtered inserts = %v", got)
+	}
+	rt.InsertBase(rel.NewTuple("b", rel.Addr("n"), rel.Int(2), rel.Int(9)))
+	if got := mustTuples(t, rt, "h"); len(got) != 1 {
+		t.Fatalf("h after Y>=3 insert = %v", got)
+	}
+}
+
+func TestPlannerAssignChainAcrossAtoms(t *testing.T) {
+	src := `
+materialize(a, infinity, infinity, keys(1,2)).
+materialize(b, infinity, infinity, keys(1,2)).
+materialize(h, infinity, infinity, keys(1,2)).
+r1 h(@S,W) :- a(@S,X), V := X * 2, b(@S,Y), W := V + Y, W < 100.
+`
+	rt := newRT(t, "n", src)
+	rt.InsertBase(rel.NewTuple("b", rel.Addr("n"), rel.Int(3)))
+	rt.InsertBase(rel.NewTuple("a", rel.Addr("n"), rel.Int(5)))
+	got := mustTuples(t, rt, "h")
+	if len(got) != 1 || got[0].String() != "h(@n, 13)" {
+		t.Fatalf("h = %v", got)
+	}
+}
+
+func TestPlannerThreeWayJoin(t *testing.T) {
+	src := `
+materialize(a, infinity, infinity, keys(1,2)).
+materialize(b, infinity, infinity, keys(1,2,3)).
+materialize(c, infinity, infinity, keys(1,2,3)).
+materialize(h, infinity, infinity, keys(1,2)).
+r1 h(@S,Z) :- a(@S,X), b(@S,X,Y), c(@S,Y,Z).
+`
+	rt := newRT(t, "n", src)
+	// Insert in worst-case order: c, b, a (each trigger exercised).
+	rt.InsertBase(rel.NewTuple("c", rel.Addr("n"), rel.Int(2), rel.Int(3)))
+	rt.InsertBase(rel.NewTuple("b", rel.Addr("n"), rel.Int(1), rel.Int(2)))
+	rt.InsertBase(rel.NewTuple("a", rel.Addr("n"), rel.Int(1)))
+	got := mustTuples(t, rt, "h")
+	if len(got) != 1 || got[0].String() != "h(@n, 3)" {
+		t.Fatalf("h = %v", got)
+	}
+	// Delete the middle atom's tuple: the chain must unwind.
+	rt.DeleteBase(rel.NewTuple("b", rel.Addr("n"), rel.Int(1), rel.Int(2)))
+	if got := mustTuples(t, rt, "h"); len(got) != 0 {
+		t.Fatalf("h after middle delete = %v", got)
+	}
+}
+
+func TestPlannerConstantInBodyAtom(t *testing.T) {
+	src := `
+materialize(a, infinity, infinity, keys(1,2,3)).
+materialize(h, infinity, infinity, keys(1,2)).
+r1 h(@S,X) :- a(@S,"tag",X).
+`
+	rt := newRT(t, "n", src)
+	rt.InsertBase(rel.NewTuple("a", rel.Addr("n"), rel.Str("tag"), rel.Int(1)))
+	rt.InsertBase(rel.NewTuple("a", rel.Addr("n"), rel.Str("other"), rel.Int(2)))
+	got := mustTuples(t, rt, "h")
+	if len(got) != 1 || got[0].String() != "h(@n, 1)" {
+		t.Fatalf("h = %v", got)
+	}
+}
+
+func TestIndexRequestsCoverProbes(t *testing.T) {
+	src := `
+materialize(a, infinity, infinity, keys(1,2)).
+materialize(b, infinity, infinity, keys(1,2,3)).
+materialize(h, infinity, infinity, keys(1,2)).
+r1 h(@S,Y) :- a(@S,X), b(@S,X,Y).
+`
+	c := compileFor(t, src)
+	if len(c.IndexRequests) == 0 {
+		t.Fatal("no index requests for a join program")
+	}
+	for _, req := range c.IndexRequests {
+		if req.Rel != "a" && req.Rel != "b" {
+			t.Fatalf("unexpected index on %s", req.Rel)
+		}
+		if len(req.Cols) == 0 {
+			t.Fatal("empty index columns")
+		}
+	}
+}

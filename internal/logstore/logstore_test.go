@@ -1,0 +1,161 @@
+package logstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/protocols"
+	"repro/internal/simnet"
+)
+
+func buildEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e, err := protocols.Build(protocols.MinCost, protocols.NodeNames(3),
+		protocols.LineTopology(3, 1), engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCaptureSnapshot(t *testing.T) {
+	e := buildEngine(t)
+	sn, err := Capture(e, "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Node != "n1" || len(sn.Tables["mincost"]) == 0 {
+		t.Fatalf("snapshot = %+v", sn)
+	}
+	if sn.ProvEntries == 0 || sn.ExecEntries == 0 {
+		t.Fatalf("provenance stats empty: %+v", sn)
+	}
+	if len(sn.Neighbors) != 1 || sn.Neighbors[0] != "n2" {
+		t.Fatalf("neighbors = %v", sn.Neighbors)
+	}
+	if _, err := Capture(e, "zz"); err == nil {
+		t.Fatal("unknown node must error")
+	}
+}
+
+func TestCollectorOutOfBand(t *testing.T) {
+	e := buildEngine(t)
+	st := NewStore()
+	c, err := NewCollector(e, st, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CaptureAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("snapshots = %d", st.Len())
+	}
+	view := st.At(e.Net.Now())
+	if len(view) != 3 {
+		t.Fatalf("view = %d nodes", len(view))
+	}
+}
+
+func TestCollectorShipsOverNetwork(t *testing.T) {
+	e := buildEngine(t)
+	st := NewStore()
+	c, err := NewCollector(e, st, "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CaptureAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Remote snapshots are in flight until the network runs.
+	if st.Len() != 1 {
+		t.Fatalf("before run: %d snapshots (only home should be in)", st.Len())
+	}
+	e.RunQuiescent()
+	if st.Len() != 3 {
+		t.Fatalf("after run: %d snapshots", st.Len())
+	}
+	if e.Net.KindTotals()[MsgKind].Messages != 2 {
+		t.Fatalf("snapshot traffic = %+v", e.Net.KindTotals()[MsgKind])
+	}
+	if _, err := NewCollector(e, st, "zz"); err == nil {
+		t.Fatal("unknown home must error")
+	}
+}
+
+func TestPeriodicCaptureAndReplay(t *testing.T) {
+	e := buildEngine(t)
+	st := NewStore()
+	c, err := NewCollector(e, st, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Every(10*simnet.Millisecond, 3); err != nil {
+		t.Fatal(err)
+	}
+	e.RunQuiescent()
+	times := st.Times()
+	if len(times) != 4 { // initial + 3 rounds
+		t.Fatalf("times = %v", times)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] != 10*simnet.Millisecond {
+			t.Fatalf("interval %d = %d", i, times[i]-times[i-1])
+		}
+	}
+	count := 0
+	st.Replay(func(tm simnet.Time, view map[string]Snapshot) bool {
+		count++
+		if len(view) != 3 {
+			t.Fatalf("view at %d has %d nodes", tm, len(view))
+		}
+		return count < 2 // early stop works
+	})
+	if count != 2 {
+		t.Fatalf("replay visits = %d", count)
+	}
+}
+
+func TestAtReturnsLatestPerNode(t *testing.T) {
+	st := NewStore()
+	st.Add(Snapshot{Time: 10, Node: "a", ProvEntries: 1})
+	st.Add(Snapshot{Time: 20, Node: "a", ProvEntries: 2})
+	st.Add(Snapshot{Time: 30, Node: "a", ProvEntries: 3})
+	view := st.At(25)
+	if view["a"].ProvEntries != 2 {
+		t.Fatalf("At(25) = %+v", view["a"])
+	}
+	if len(st.At(5)) != 0 {
+		t.Fatal("At before first snapshot should be empty")
+	}
+}
+
+func TestAddKeepsOrder(t *testing.T) {
+	st := NewStore()
+	st.Add(Snapshot{Time: 30, Node: "a"})
+	st.Add(Snapshot{Time: 10, Node: "b"})
+	st.Add(Snapshot{Time: 20, Node: "c"})
+	times := st.Times()
+	if times[0] != 10 || times[1] != 20 || times[2] != 30 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestDump(t *testing.T) {
+	e := buildEngine(t)
+	st := NewStore()
+	c, _ := NewCollector(e, st, "")
+	c.CaptureAll()
+	var buf bytes.Buffer
+	if err := st.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"=== t=", "node n1", "mincost(@n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

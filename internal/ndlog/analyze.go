@@ -1,0 +1,206 @@
+package ndlog
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/rel"
+)
+
+// Analysis is the result of semantically checking a program: a catalog
+// of relation schemas plus derived per-rule information used by the
+// rewriters and the runtime.
+type Analysis struct {
+	Program *Program
+	Catalog *rel.Catalog
+}
+
+// Analyze validates the program and builds its catalog. Checks:
+// label uniqueness; arity consistency across all uses of each relation;
+// location specifiers on every atom; rule safety (head variables bound
+// by the body); assignment/condition variable binding in order; at most
+// one aggregate per head; maybe-rule shape (single body atom).
+func Analyze(p *Program) (*Analysis, error) {
+	cat := rel.NewCatalog()
+	arity := map[string]int{}
+	matDecl := map[string]*MaterializeDecl{}
+	for _, m := range p.Materialized {
+		if _, dup := matDecl[m.Name]; dup {
+			return nil, fmt.Errorf("ndlog: duplicate materialize(%s)", m.Name)
+		}
+		matDecl[m.Name] = m
+	}
+
+	noteArity := func(relName string, n int) error {
+		if prev, ok := arity[relName]; ok && prev != n {
+			return fmt.Errorf("ndlog: relation %s used with arity %d and %d", relName, prev, n)
+		}
+		arity[relName] = n
+		return nil
+	}
+
+	labels := map[string]bool{}
+	for _, r := range p.Rules {
+		if r.Label != "" {
+			if labels[r.Label] {
+				return nil, fmt.Errorf("ndlog: duplicate rule label %q", r.Label)
+			}
+			labels[r.Label] = true
+		}
+		if err := checkRule(r); err != nil {
+			return nil, err
+		}
+		if err := noteArity(r.Head.Rel, len(r.Head.Args)); err != nil {
+			return nil, err
+		}
+		for _, a := range r.BodyAtoms() {
+			if err := noteArity(a.Rel, len(a.Args)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for name, n := range arity {
+		s := &rel.Schema{Name: name, Arity: n, LocIndex: 0, Persistent: false}
+		if m, ok := matDecl[name]; ok {
+			s.Persistent = true
+			for _, k := range m.Keys {
+				if k > n {
+					return nil, fmt.Errorf("ndlog: materialize(%s) key %d exceeds arity %d", name, k, n)
+				}
+				s.KeyCols = append(s.KeyCols, k-1) // NDlog keys are 1-based
+			}
+			if m.Lifetime != "infinity" {
+				secs, err := strconv.ParseInt(m.Lifetime, 10, 64)
+				if err != nil || secs <= 0 {
+					return nil, fmt.Errorf("ndlog: materialize(%s): bad lifetime %q", name, m.Lifetime)
+				}
+				s.LifetimeSecs = secs
+			}
+		}
+		// Location column: every atom for this relation must use the
+		// same position; find it from any rule.
+		s.LocIndex = locIndexFor(p, name)
+		if err := cat.Define(s); err != nil {
+			return nil, err
+		}
+	}
+	// Materialized relations never referenced by rules still get schemas
+	// (arity unknown → reject: a table must appear somewhere).
+	for name := range matDecl {
+		if _, ok := arity[name]; !ok {
+			return nil, fmt.Errorf("ndlog: materialize(%s) declared but relation never used", name)
+		}
+	}
+	return &Analysis{Program: p, Catalog: cat}, nil
+}
+
+func locIndexFor(p *Program, relName string) int {
+	for _, r := range p.Rules {
+		if r.Head.Rel == relName && r.Head.LocArg >= 0 {
+			return r.Head.LocArg
+		}
+		for _, a := range r.BodyAtoms() {
+			if a.Rel == relName && a.LocArg >= 0 {
+				return a.LocArg
+			}
+		}
+	}
+	return -1
+}
+
+func checkRule(r *Rule) error {
+	if r.Head == nil {
+		return fmt.Errorf("ndlog: rule %s has no head", r.Label)
+	}
+	name := r.Label
+	if name == "" {
+		name = r.Head.Rel
+	}
+	// Location specifier positions must be consistent per atom use.
+	if r.Head.LocArg < 0 {
+		return fmt.Errorf("ndlog: rule %s: head %s lacks a location specifier (@)", name, r.Head.Rel)
+	}
+	if len(r.Body) == 0 {
+		// Fact: all head args must be constants.
+		for i, a := range r.Head.Args {
+			if _, ok := a.(*ConstArg); !ok {
+				return fmt.Errorf("ndlog: fact %s: argument %d is not a constant", name, i)
+			}
+		}
+		return nil
+	}
+	// Aggregates: at most one, head only.
+	aggs := 0
+	for _, a := range r.Head.Args {
+		if _, ok := a.(*AggArg); ok {
+			aggs++
+		}
+	}
+	if aggs > 1 {
+		return fmt.Errorf("ndlog: rule %s: multiple aggregates in head", name)
+	}
+	// Binding discipline: walk body terms in order; atoms bind their
+	// variables; assignments bind their target after evaluating the
+	// expression over already-bound vars; conditions read bound vars.
+	bound := map[string]bool{}
+	if r.Maybe {
+		// Maybe rules are matched against *observed* output messages by
+		// the proxy, so head variables are bound by the output tuple.
+		r.Head.Vars(bound)
+	}
+	atoms := 0
+	for _, t := range r.Body {
+		switch t := t.(type) {
+		case *Atom:
+			atoms++
+			if t.LocArg < 0 {
+				return fmt.Errorf("ndlog: rule %s: body atom %s lacks a location specifier (@)", name, t.Rel)
+			}
+			for _, arg := range t.Args {
+				switch arg := arg.(type) {
+				case *VarArg:
+					bound[arg.Name] = true
+				case *AggArg:
+					return fmt.Errorf("ndlog: rule %s: aggregate in body atom %s", name, t.Rel)
+				}
+			}
+		case *Assign:
+			vars := map[string]bool{}
+			t.Expr.ExprVars(vars)
+			for v := range vars {
+				if !bound[v] {
+					return fmt.Errorf("ndlog: rule %s: assignment to %s reads unbound variable %s", name, t.Var, v)
+				}
+			}
+			if bound[t.Var] {
+				return fmt.Errorf("ndlog: rule %s: assignment rebinds variable %s", name, t.Var)
+			}
+			bound[t.Var] = true
+		case *Cond:
+			vars := map[string]bool{}
+			t.Vars(vars)
+			for v := range vars {
+				if !bound[v] {
+					return fmt.Errorf("ndlog: rule %s: condition reads unbound variable %s", name, v)
+				}
+			}
+		}
+	}
+	if atoms == 0 {
+		return fmt.Errorf("ndlog: rule %s: body has no atoms", name)
+	}
+	if r.Maybe && atoms != 1 {
+		return fmt.Errorf("ndlog: maybe rule %s must have exactly one body atom, has %d", name, atoms)
+	}
+	// Safety: head vars (including group-by vars and aggregate operands)
+	// must be bound.
+	headVars := map[string]bool{}
+	r.Head.Vars(headVars)
+	for v := range headVars {
+		if !bound[v] {
+			return fmt.Errorf("ndlog: rule %s: head variable %s not bound in body", name, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package ndlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeMincost(t *testing.T) {
+	p := MustParse(mincostSrc)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, ok := a.Catalog.Lookup("link")
+	if !ok {
+		t.Fatal("link schema missing")
+	}
+	if !link.Persistent || link.Arity != 3 || link.LocIndex != 0 {
+		t.Fatalf("link schema = %+v", link)
+	}
+	if len(link.KeyCols) != 2 || link.KeyCols[0] != 0 || link.KeyCols[1] != 1 {
+		t.Fatalf("link keys = %v (should be 0-based)", link.KeyCols)
+	}
+}
+
+func TestAnalyzeEventRelation(t *testing.T) {
+	p := MustParse(`
+materialize(path, infinity, infinity, keys(1,2)).
+r1 path(@S,D) :- ping(@S,D).
+`)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ping, _ := a.Catalog.Lookup("ping")
+	if ping.Persistent {
+		t.Fatal("undeclared relation must be transient (event)")
+	}
+	path, _ := a.Catalog.Lookup("path")
+	if !path.Persistent {
+		t.Fatal("declared relation must be persistent")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"dup-label", `r1 a(@S) :- b(@S). r1 a(@S) :- c(@S).`, "duplicate rule label"},
+		{"dup-materialize", `materialize(a, infinity, infinity, keys(1)). materialize(a, infinity, infinity, keys(1)). r1 a(@S) :- b(@S).`, "duplicate materialize"},
+		{"arity-mismatch", `r1 a(@S) :- b(@S). r2 a(@S,X) :- b(@S), X := 1.`, "arity"},
+		{"unbound-head", `r1 a(@S,X) :- b(@S).`, "not bound"},
+		{"unbound-cond", `r1 a(@S) :- b(@S), X < 1.`, "unbound variable"},
+		{"unbound-assign", `r1 a(@S,X) :- b(@S), X := Y + 1.`, "unbound variable"},
+		{"rebind", `r1 a(@S,C) :- b(@S,C), C := 1.`, "rebinds"},
+		{"no-head-loc", `r1 a(S) :- b(@S).`, "lacks a location"},
+		{"no-body-loc", `r1 a(@S) :- b(S).`, "lacks a location"},
+		{"no-atoms", `r1 a(@S) :- S == S.`, "unbound"},
+		{"two-aggs", `r1 a(@S,min<C>,max<C>) :- b(@S,C).`, "multiple aggregates"},
+		{"maybe-two-atoms", `r1 a(@S) ?- b(@S), c(@S).`, "exactly one body atom"},
+		{"fact-var", `f1 a(@S).`, "not a constant"},
+		{"key-exceeds", `materialize(a, infinity, infinity, keys(5)). r1 a(@S) :- b(@S).`, "exceeds arity"},
+		{"mat-unused", `materialize(zzz, infinity, infinity, keys(1)). r1 a(@S) :- b(@S).`, "never used"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse failed: %v", c.name, err)
+		}
+		_, err = Analyze(p)
+		if err == nil {
+			t.Errorf("%s: Analyze should fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestAnalyzeFactsOK(t *testing.T) {
+	p := MustParse(`
+materialize(link, infinity, infinity, keys(1,2)).
+f1 link(@'n1','n2',1).
+r1 reach(@S,D) :- link(@S,D,_).
+`)
+	if _, err := Analyze(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeBindingThroughAssignChain(t *testing.T) {
+	p := MustParse(`r1 a(@S,E) :- b(@S,C), D := C + 1, E := D * 2, E < 100.`)
+	if _, err := Analyze(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeAggregateGroupBy(t *testing.T) {
+	p := MustParse(`r1 mincost(@S,D,min<C>) :- cost(@S,D,C).`)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Catalog.Lookup("mincost"); !ok {
+		t.Fatal("mincost schema missing")
+	}
+}
+
+func TestAnalyzeLifetimes(t *testing.T) {
+	p := MustParse(`
+materialize(soft, 30, infinity, keys(1,2)).
+materialize(hard, infinity, infinity, keys(1,2)).
+r1 hard(@S,D) :- soft(@S,D).
+`)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, _ := a.Catalog.Lookup("soft")
+	if soft.LifetimeSecs != 30 {
+		t.Fatalf("soft lifetime = %d", soft.LifetimeSecs)
+	}
+	hard, _ := a.Catalog.Lookup("hard")
+	if hard.LifetimeSecs != 0 {
+		t.Fatalf("hard lifetime = %d", hard.LifetimeSecs)
+	}
+	bad := MustParse(`
+materialize(x, 0, infinity, keys(1)).
+r1 x(@S) :- y(@S).
+`)
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("zero lifetime must be rejected")
+	}
+}
+
+func TestAnalyzeWildcardBody(t *testing.T) {
+	p := MustParse(`r1 deg(@S,count<>) :- link(@S,_,_).`)
+	if _, err := Analyze(p); err != nil {
+		t.Fatal(err)
+	}
+}

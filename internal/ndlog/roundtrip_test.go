@@ -1,0 +1,93 @@
+package ndlog
+
+import (
+	"testing"
+)
+
+// The four demonstration protocols plus the BGP monitoring program must
+// parse, analyze, pretty-print, and re-parse to a fixpoint. (Sources
+// duplicated from internal/protocols and internal/bgp to avoid an
+// import cycle; drift is caught because those packages parse their own
+// copies in their tests.)
+var protocolSources = map[string]string{
+	"mincost": `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(cost, infinity, infinity, keys(1,2,3)).
+materialize(mincost, infinity, infinity, keys(1,2)).
+mc1 cost(@S,D,C) :- link(@S,D,C).
+mc2 cost(@S,D,C) :- link(@S,Z,C1), mincost(@Z,D,C2), S != D, C := C1 + C2, C < 64.
+mc3 mincost(@S,D,min<C>) :- cost(@S,D,C).
+`,
+	"pathvector": `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(path, infinity, infinity, keys(1,2,3,4)).
+materialize(bestcost, infinity, infinity, keys(1,2)).
+materialize(bestpath, infinity, infinity, keys(1,2,3,4)).
+pv1 path(@S,D,C,P) :- link(@S,D,C), P := f_initlist(S,D).
+pv2 path(@S,D,C,P) :- link(@S,Z,C1), bestpath(@Z,D,C2,P2), f_member(P2,S) == 0, C := C1 + C2, P := f_prepend(S,P2).
+pv3 bestcost(@S,D,min<C>) :- path(@S,D,C,P).
+pv4 bestpath(@S,D,C,P) :- path(@S,D,C,P), bestcost(@S,D,C).
+`,
+	"dsr": `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(route, infinity, infinity, keys(1,2,3)).
+dsr1 route(@S,D,P) :- link(@S,D,_), P := f_initlist(S,D).
+dsr2 route(@S,D,P) :- link(@S,Z,_), route(@Z,D,P2), f_member(P2,S) == 0, P := f_prepend(S,P2).
+`,
+	"distancevector": `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(hop, infinity, infinity, keys(1,2,3,4)).
+materialize(bestcost, infinity, infinity, keys(1,2)).
+dv1 hop(@S,D,D,C) :- link(@S,D,C).
+dv2 hop(@S,D,Z,C) :- link(@S,Z,C1), bestcost(@Z,D,C2), C := C1 + C2, C < 16.
+dv3 bestcost(@S,D,min<C>) :- hop(@S,D,Z,C).
+`,
+	"bgpmonitor": `
+materialize(inputRoute, infinity, infinity, keys(1,2,3,4)).
+materialize(outputRoute, infinity, infinity, keys(1,2,3,4)).
+materialize(routeEntry, infinity, infinity, keys(1,2)).
+re1 routeEntry(@AS,Prefix) :- outputRoute(@AS,R,Prefix,Path).
+br1 outputRoute(@AS,R2,Prefix,Route2) ?- inputRoute(@AS,R1,Prefix,Route1), f_isExtend(Route2,Route1,AS) == 1.
+`,
+}
+
+func TestProtocolSourcesAnalyzeAndRoundTrip(t *testing.T) {
+	for name, src := range protocolSources {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := Analyze(prog); err != nil {
+			t.Fatalf("%s: analyze: %v", name, err)
+		}
+		printed := prog.String()
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: re-parse of pretty output: %v\n%s", name, err, printed)
+		}
+		if prog2.String() != printed {
+			t.Fatalf("%s: pretty print not a fixpoint", name)
+		}
+		if _, err := Analyze(prog2); err != nil {
+			t.Fatalf("%s: re-analyze: %v", name, err)
+		}
+		if len(prog2.Rules) != len(prog.Rules) || len(prog2.Materialized) != len(prog.Materialized) {
+			t.Fatalf("%s: round trip changed structure", name)
+		}
+	}
+}
+
+func TestMaybeMarkerSurvivesRoundTrip(t *testing.T) {
+	prog := MustParse(protocolSources["bgpmonitor"])
+	printed := prog.String()
+	prog2 := MustParse(printed)
+	var maybes int
+	for _, r := range prog2.Rules {
+		if r.Maybe {
+			maybes++
+		}
+	}
+	if maybes != 1 {
+		t.Fatalf("maybe rules after round trip = %d", maybes)
+	}
+}

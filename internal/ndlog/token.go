@@ -1,0 +1,137 @@
+// Package ndlog implements the Network Datalog (NDlog) language used by
+// NetTrails/RapidNet: a lexer, parser, AST, pretty-printer, and semantic
+// analyzer. NDlog is a distributed recursive query language; rules carry
+// location specifiers (@X) that partition evaluation across nodes.
+// The ExSPAN extension of "maybe" rules (written h ?- b) for legacy
+// applications is part of the grammar.
+package ndlog
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF      TokKind = iota
+	TokIdent            // lowercase-initial identifier: relation/function names, keywords
+	TokVariable         // uppercase-initial identifier: rule variables
+	TokInt
+	TokFloat
+	TokString // "..." string literal
+	TokAddr   // '...' address literal
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokPeriod
+	TokAt         // @
+	TokDerive     // :-
+	TokMaybe      // ?-
+	TokAssign     // :=
+	TokLT         // <
+	TokLE         // <=
+	TokGT         // >
+	TokGE         // >=
+	TokEQ         // ==
+	TokNE         // !=
+	TokPlus       // +
+	TokMinus      // -
+	TokStar       // *
+	TokSlash      // /
+	TokPercent    // %
+	TokUnderscore // _ (don't-care variable)
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "ident"
+	case TokVariable:
+		return "variable"
+	case TokInt:
+		return "int"
+	case TokFloat:
+		return "float"
+	case TokString:
+		return "string"
+	case TokAddr:
+		return "addr"
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokLBracket:
+		return "["
+	case TokRBracket:
+		return "]"
+	case TokComma:
+		return ","
+	case TokPeriod:
+		return "."
+	case TokAt:
+		return "@"
+	case TokDerive:
+		return ":-"
+	case TokMaybe:
+		return "?-"
+	case TokAssign:
+		return ":="
+	case TokLT:
+		return "<"
+	case TokLE:
+		return "<="
+	case TokGT:
+		return ">"
+	case TokGE:
+		return ">="
+	case TokEQ:
+		return "=="
+	case TokNE:
+		return "!="
+	case TokPlus:
+		return "+"
+	case TokMinus:
+		return "-"
+	case TokStar:
+		return "*"
+	case TokSlash:
+		return "/"
+	case TokPercent:
+		return "%"
+	case TokUnderscore:
+		return "_"
+	}
+	return "?"
+}
+
+// Token is one lexical token with source position.
+type Token struct {
+	Kind TokKind
+	Text string // raw text for idents/variables/literals
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a lexical or syntactic error with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("ndlog: line %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,146 @@
+package provenance
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/rel"
+)
+
+// Groundwork for the paper's second ongoing-work item (secure network
+// provenance, ref [9]): tamper-evident commitments over each node's
+// provenance partition, and a cross-node consistency auditor. A full
+// SNP implementation adds authenticated channels and evidence
+// protocols; the commitment/audit layer below provides the integrity
+// primitives those protocols check.
+
+// Commitment binds a node to the exact contents of its provenance
+// partition at a version.
+type Commitment struct {
+	Addr    string
+	Version uint64
+	Digest  rel.ID
+}
+
+// Digest computes a deterministic hash over the partition's rendered
+// prov and ruleExec relations (sorted canonical encodings).
+func (s *Store) Digest() rel.ID {
+	var buf bytes.Buffer
+	for _, t := range s.ProvTuples() {
+		rel.EncodeTuple(&buf, t)
+	}
+	for _, t := range s.ExecTuples() {
+		rel.EncodeTuple(&buf, t)
+	}
+	return rel.HashBytes(buf.Bytes())
+}
+
+// Commit returns the current commitment.
+func (s *Store) Commit() Commitment {
+	return Commitment{Addr: s.addr, Version: s.Version(), Digest: s.Digest()}
+}
+
+// VerifyCommitment recomputes the digest and compares. A mismatch at
+// the same version means the partition was tampered with outside the
+// maintenance API.
+func VerifyCommitment(s *Store, c Commitment) error {
+	if s.addr != c.Addr {
+		return fmt.Errorf("provenance: commitment for %s checked against %s", c.Addr, s.addr)
+	}
+	if s.Version() != c.Version {
+		return fmt.Errorf("provenance: version moved from %d to %d; re-commit", c.Version, s.Version())
+	}
+	if got := s.Digest(); got != c.Digest {
+		return fmt.Errorf("provenance: digest mismatch at version %d: partition was modified", c.Version)
+	}
+	return nil
+}
+
+// Audit cross-checks a set of partitions (addr -> store) for
+// distributed referential integrity:
+//
+//  1. every derived prov entry at node A names a rule execution that
+//     exists at its claimed RLoc;
+//  2. every rule execution's input VIDs are pinned at the executing
+//     node;
+//  3. every rule execution supports at least one prov entry somewhere
+//     (no orphan executions).
+//
+// It returns human-readable findings, empty when consistent.
+func Audit(stores map[string]*Store) []string {
+	var findings []string
+	addrs := make([]string, 0, len(stores))
+	for a := range stores {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+
+	referenced := map[rel.ID]bool{}
+	for _, a := range addrs {
+		s := stores[a]
+		s.mu.RLock()
+		for vid, list := range s.prov {
+			for _, ce := range list {
+				e := ce.entry
+				if e.RID.IsZero() {
+					continue
+				}
+				referenced[e.RID] = true
+				home, ok := stores[e.RLoc]
+				if !ok {
+					findings = append(findings, fmt.Sprintf(
+						"%s: prov entry for %s names unknown node %s", a, vid.Short(), e.RLoc))
+					continue
+				}
+				if _, ok := home.Exec(e.RID); !ok {
+					findings = append(findings, fmt.Sprintf(
+						"%s: prov entry for %s references missing exec %s at %s",
+						a, vid.Short(), e.RID.Short(), e.RLoc))
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+	for _, a := range addrs {
+		s := stores[a]
+		s.mu.RLock()
+		for rid, ce := range s.exec {
+			for _, vid := range ce.exec.VIDs {
+				if _, ok := s.pins[vid]; !ok {
+					findings = append(findings, fmt.Sprintf(
+						"%s: exec %s input %s not pinned", a, rid.Short(), vid.Short()))
+				}
+			}
+			if !referenced[rid] {
+				findings = append(findings, fmt.Sprintf(
+					"%s: exec %s supports no prov entry anywhere", a, rid.Short()))
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(findings)
+	return findings
+}
+
+// TamperAddProv injects a forged prov entry, bypassing maintenance.
+// Test-only hook for exercising VerifyCommitment and Audit.
+func (s *Store) TamperAddProv(t rel.Tuple, e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addEntryLocked(t, e)
+}
+
+// TamperAddExec injects a forged rule execution, bypassing maintenance.
+// Test-only hook for exercising traversal over adversarial graphs.
+func (s *Store) TamperAddExec(rid rel.ID, rule string, inputs []rel.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vids := make([]rel.ID, len(inputs))
+	for i, in := range inputs {
+		vids[i] = in.VID()
+		s.pinTuple(in)
+	}
+	s.exec[rid] = &countedExec{exec: ExecEntry{RID: rid, Rule: rule, VIDs: vids}, count: 1}
+	s.version++
+}

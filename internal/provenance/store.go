@@ -1,0 +1,375 @@
+// Package provenance implements ExSPAN's network provenance model: the
+// provenance graph G(V,E) whose vertices are tuples and rule executions,
+// maintained incrementally as distributed relations partitioned across
+// nodes:
+//
+//	prov(@Loc, VID, RID, RLoc)      — tuple VID at Loc has a derivation
+//	                                  produced by rule execution RID at
+//	                                  RLoc; base tuples use the zero RID.
+//	ruleExec(@RLoc, RID, Rule, VIDs) — rule execution RID at RLoc ran
+//	                                  Rule over input tuples VIDs (all
+//	                                  local to RLoc after localization).
+//
+// Each node owns one Store holding its partition plus a pin table
+// mapping VIDs to tuple values so queries can render attributes.
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/rel"
+)
+
+// Entry is one prov-table row: a single derivation of a tuple.
+type Entry struct {
+	VID  rel.ID
+	RID  rel.ID // rel.ZeroID marks a base-tuple derivation
+	RLoc string // node where the rule executed ("" for base)
+}
+
+// ExecEntry is one ruleExec-table row: a rule execution's inputs. The
+// inputs are tuples local to the executing node.
+type ExecEntry struct {
+	RID  rel.ID
+	Rule string
+	VIDs []rel.ID
+}
+
+type countedEntry struct {
+	entry Entry
+	count int
+}
+
+type countedExec struct {
+	exec  ExecEntry
+	count int
+}
+
+type pin struct {
+	tuple rel.Tuple
+	refs  int
+}
+
+// Store is one node's partition of the provenance graph.
+type Store struct {
+	mu   sync.RWMutex
+	addr string
+	// prov: VID -> derivation entries (with duplicate counting).
+	prov map[rel.ID][]*countedEntry
+	// exec: RID -> rule execution.
+	exec map[rel.ID]*countedExec
+	// pins: VID -> tuple value, refcounted by prov entries and by exec
+	// input references.
+	pins map[rel.ID]*pin
+	// version increments on every mutation; the query cache uses it for
+	// conservative invalidation.
+	version uint64
+}
+
+// NewStore creates the provenance partition for one node.
+func NewStore(addr string) *Store {
+	return &Store{
+		addr: addr,
+		prov: map[rel.ID][]*countedEntry{},
+		exec: map[rel.ID]*countedExec{},
+		pins: map[rel.ID]*pin{},
+	}
+}
+
+// Addr returns the owning node's address.
+func (s *Store) Addr() string { return s.addr }
+
+// Version returns the mutation counter.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+func (s *Store) pinTuple(t rel.Tuple) {
+	vid := t.VID()
+	if p, ok := s.pins[vid]; ok {
+		p.refs++
+		return
+	}
+	s.pins[vid] = &pin{tuple: t, refs: 1}
+}
+
+func (s *Store) unpin(vid rel.ID) {
+	p, ok := s.pins[vid]
+	if !ok {
+		return
+	}
+	p.refs--
+	if p.refs <= 0 {
+		delete(s.pins, vid)
+	}
+}
+
+// AddBase records a base-tuple insertion at this node.
+func (s *Store) AddBase(t rel.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	s.addEntryLocked(t, Entry{VID: t.VID()})
+}
+
+// RemoveBase retracts a base-tuple derivation.
+func (s *Store) RemoveBase(t rel.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	s.removeEntryLocked(t.VID(), Entry{VID: t.VID()})
+}
+
+func (s *Store) addEntryLocked(t rel.Tuple, e Entry) {
+	for _, ce := range s.prov[e.VID] {
+		if ce.entry == e {
+			ce.count++
+			s.pinTuple(t)
+			return
+		}
+	}
+	s.prov[e.VID] = append(s.prov[e.VID], &countedEntry{entry: e, count: 1})
+	s.pinTuple(t)
+}
+
+func (s *Store) removeEntryLocked(vid rel.ID, e Entry) {
+	list := s.prov[vid]
+	for i, ce := range list {
+		if ce.entry == e {
+			ce.count--
+			s.unpin(vid)
+			if ce.count <= 0 {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				if len(list) == 0 {
+					delete(s.prov, vid)
+				} else {
+					s.prov[vid] = list
+				}
+			}
+			return
+		}
+	}
+}
+
+// RecordFiring ingests one rule execution (or its retraction) that ran
+// at this node. It returns the derivation entry for the output tuple so
+// the engine can either apply it locally (output at this node) or attach
+// it to the outgoing delta message.
+func (s *Store) RecordFiring(f eval.Firing) Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	vids := make([]rel.ID, len(f.Inputs))
+	for i, in := range f.Inputs {
+		vids[i] = in.VID()
+	}
+	rid := eval.RuleExecID(f.RuleName, s.addr, vids)
+	e := Entry{VID: f.Output.VID(), RID: rid, RLoc: s.addr}
+	if f.Sign > 0 {
+		if ce, ok := s.exec[rid]; ok {
+			ce.count++
+		} else {
+			s.exec[rid] = &countedExec{exec: ExecEntry{RID: rid, Rule: f.RuleName, VIDs: vids}, count: 1}
+			for _, in := range f.Inputs {
+				s.pinTuple(in)
+			}
+		}
+		if f.OutputLoc == s.addr {
+			s.addEntryLocked(f.Output, e)
+		}
+	} else {
+		if ce, ok := s.exec[rid]; ok {
+			ce.count--
+			if ce.count <= 0 {
+				delete(s.exec, rid)
+				for _, vid := range vids {
+					s.unpin(vid)
+				}
+			}
+		}
+		if f.OutputLoc == s.addr {
+			s.removeEntryLocked(f.Output.VID(), e)
+		}
+	}
+	return e
+}
+
+// ApplyRemote records (or retracts) a derivation entry for a tuple that
+// arrived from another node, where the rule executed.
+func (s *Store) ApplyRemote(t rel.Tuple, e Entry, sign int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	if sign > 0 {
+		s.addEntryLocked(t, e)
+	} else {
+		s.removeEntryLocked(t.VID(), e)
+	}
+}
+
+// Derivations returns the derivation entries of a tuple at this node,
+// sorted deterministically. ok is false when the tuple is unknown here.
+func (s *Store) Derivations(vid rel.ID) ([]Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list, ok := s.prov[vid]
+	if !ok {
+		return nil, false
+	}
+	out := make([]Entry, len(list))
+	for i, ce := range list {
+		out[i] = ce.entry
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].RID.Compare(out[j].RID); c != 0 {
+			return c < 0
+		}
+		return out[i].RLoc < out[j].RLoc
+	})
+	return out, true
+}
+
+// SupportCount returns the total number of derivations (including
+// duplicate firings of the same rule execution) currently supporting a
+// tuple at this node. It equals the tuple's table derivation count when
+// maintenance is consistent.
+func (s *Store) SupportCount(vid rel.ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ce := range s.prov[vid] {
+		n += ce.count
+	}
+	return n
+}
+
+// Exec returns the rule execution for a RID at this node.
+func (s *Store) Exec(rid rel.ID) (ExecEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ce, ok := s.exec[rid]
+	if !ok {
+		return ExecEntry{}, false
+	}
+	out := ce.exec
+	out.VIDs = append([]rel.ID(nil), ce.exec.VIDs...)
+	return out, true
+}
+
+// TupleOf resolves a pinned VID to its tuple value.
+func (s *Store) TupleOf(vid rel.ID) (rel.Tuple, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pins[vid]
+	if !ok {
+		return rel.Tuple{}, false
+	}
+	return p.tuple, true
+}
+
+// Stats summarizes the partition's size.
+type Stats struct {
+	ProvEntries int // distinct prov rows
+	ExecEntries int // distinct ruleExec rows
+	Pins        int
+}
+
+// Statistics returns partition sizes.
+func (s *Store) Statistics() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, l := range s.prov {
+		n += len(l)
+	}
+	return Stats{ProvEntries: n, ExecEntries: len(s.exec), Pins: len(s.pins)}
+}
+
+// ProvTuples renders the partition as prov(@Loc,VID,RID,RLoc) tuples,
+// sorted, for snapshots and assertions.
+func (s *Store) ProvTuples() []rel.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []rel.Tuple
+	for _, list := range s.prov {
+		for _, ce := range list {
+			out = append(out, rel.NewTuple("prov",
+				rel.Addr(s.addr),
+				rel.IDValue(ce.entry.VID),
+				rel.IDValue(ce.entry.RID),
+				rel.Addr(ce.entry.RLoc)))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// ExecTuples renders the partition as ruleExec(@RLoc,RID,Rule,VIDs)
+// tuples, sorted.
+func (s *Store) ExecTuples() []rel.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []rel.Tuple
+	for _, ce := range s.exec {
+		vids := make([]rel.Value, len(ce.exec.VIDs))
+		for i, v := range ce.exec.VIDs {
+			vids[i] = rel.IDValue(v)
+		}
+		out = append(out, rel.NewTuple("ruleExec",
+			rel.Addr(s.addr),
+			rel.IDValue(ce.exec.RID),
+			rel.Str(ce.exec.Rule),
+			rel.List(vids...)))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// CheckInvariants validates internal consistency: every prov/exec
+// reference resolves to a pin; counts are positive. Used by tests and
+// failure-injection suites.
+func (s *Store) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for vid, list := range s.prov {
+		if len(list) == 0 {
+			return fmt.Errorf("provenance: empty prov list for %s", vid.Short())
+		}
+		for _, ce := range list {
+			if ce.count <= 0 {
+				return fmt.Errorf("provenance: non-positive prov count for %s", vid.Short())
+			}
+			if _, ok := s.pins[vid]; !ok {
+				return fmt.Errorf("provenance: prov entry for unpinned tuple %s", vid.Short())
+			}
+			if !ce.entry.RID.IsZero() && ce.entry.RLoc == "" {
+				return fmt.Errorf("provenance: derived entry without RLoc for %s", vid.Short())
+			}
+		}
+	}
+	for rid, ce := range s.exec {
+		if ce.count <= 0 {
+			return fmt.Errorf("provenance: non-positive exec count for %s", rid.Short())
+		}
+		for _, vid := range ce.exec.VIDs {
+			if _, ok := s.pins[vid]; !ok {
+				return fmt.Errorf("provenance: exec %s references unpinned input %s", rid.Short(), vid.Short())
+			}
+		}
+	}
+	for vid, p := range s.pins {
+		if p.refs <= 0 {
+			return fmt.Errorf("provenance: non-positive pin refs for %s", vid.Short())
+		}
+		if p.tuple.VID() != vid {
+			return fmt.Errorf("provenance: pin key mismatch for %s", vid.Short())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package provquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQueryBasics(t *testing.T) {
+	q, err := ParseQuery("lineage of mincost(@'n1','n3',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != Lineage || q.At != "n1" {
+		t.Fatalf("q = %+v", q)
+	}
+	if q.Tuple.String() != "mincost(@n1, n3, 2)" {
+		t.Fatalf("tuple = %s", q.Tuple)
+	}
+}
+
+func TestParseQueryTypesAndAliases(t *testing.T) {
+	cases := map[string]QueryType{
+		"lineage":     Lineage,
+		"bases":       BaseTuples,
+		"baseTuples":  BaseTuples,
+		"nodes":       Nodes,
+		"count":       DerivCount,
+		"derivations": DerivCount,
+	}
+	for word, want := range cases {
+		q, err := ParseQuery(word + " of link(@'a','b',1)")
+		if err != nil {
+			t.Fatalf("%s: %v", word, err)
+		}
+		if q.Type != want {
+			t.Fatalf("%s parsed as %v", word, q.Type)
+		}
+	}
+}
+
+func TestParseQueryAtAndOptions(t *testing.T) {
+	q, err := ParseQuery("count of mincost(@'n1','n4',2) at 'n2' with cache, threshold 3, dfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.At != "n2" {
+		t.Fatalf("at = %q", q.At)
+	}
+	if !q.Opts.UseCache || !q.Opts.Sequential || q.Opts.Threshold != 3 {
+		t.Fatalf("opts = %+v", q.Opts)
+	}
+	// bfs resets sequential.
+	q, err = ParseQuery("count of x(@'a') with dfs, bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Opts.Sequential {
+		t.Fatal("bfs should clear sequential")
+	}
+}
+
+func TestParseQueryStringsWithParens(t *testing.T) {
+	q, err := ParseQuery(`nodes of routeEntry(@'AS3',"10.0.0.0/24 (test)")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := q.Tuple.Vals[1].AsString(); s != "10.0.0.0/24 (test)" {
+		t.Fatalf("string arg = %q", s)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate of x(@'a')",
+		"lineage x(@'a')",
+		"lineage of",
+		"lineage of x(@'a'",
+		"lineage of x(@'a') banana",
+		"lineage of x(@'a') at",
+		"lineage of x(@'a') with warp",
+		"lineage of x(@'a') with threshold",
+		"lineage of x(@'a') with threshold zero",
+		"lineage of x(@'a') with threshold 0",
+		"lineage of x(X)",
+		`lineage of x("a")`,
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}
+
+func TestRunTextQuery(t *testing.T) {
+	_, c := buildLine(t, 3)
+	res, err := c.Run("bases of mincost(@'n1','n3',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bases) == 0 {
+		t.Fatal("no bases")
+	}
+	res, err = c.Run("count of mincost(@'n1','n3',2) with cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("count = %d", res.Count)
+	}
+	if _, err := c.Run("count of ghost(@'n1')"); err == nil {
+		t.Fatal("unknown tuple must error")
+	}
+	if _, err := c.Run("nonsense"); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+}
+
+func TestQueryTypeString(t *testing.T) {
+	for typ, want := range map[QueryType]string{
+		Lineage: "lineage", BaseTuples: "base-tuples", Nodes: "nodes",
+		DerivCount: "deriv-count", QueryType(99): "unknown",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+	if !strings.Contains(Lineage.String(), "lineage") {
+		t.Fatal("sanity")
+	}
+}

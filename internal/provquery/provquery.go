@@ -1,0 +1,559 @@
+// Package provquery is ExSPAN's distributed provenance query engine:
+// user-customizable queries evaluated by traversing the distributed
+// provenance graph across nodes. Supported query types mirror the
+// paper's demonstration — full lineage (proof trees), the set of
+// contributing base tuples, the set of participating nodes, and the
+// total number of alternative derivations — together with the
+// optimizations the demo highlights: caching of previously queried
+// results, alternative traversal orders (parallel vs. sequential), and
+// threshold-based pruning.
+//
+// Queries execute as messages over the same simulated network as the
+// protocols themselves, so the traffic reductions from the
+// optimizations are directly measurable.
+package provquery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/rel"
+	"repro/internal/simnet"
+)
+
+// QueryType selects what the traversal computes.
+type QueryType int
+
+// Query types offered by the demonstration.
+const (
+	// Lineage returns the full proof tree of a tuple.
+	Lineage QueryType = iota
+	// BaseTuples returns the set of base tuples the result depends on.
+	BaseTuples
+	// Nodes returns the set of nodes that participated in any
+	// derivation of the tuple.
+	Nodes
+	// DerivCount returns the total number of alternative proof trees.
+	DerivCount
+)
+
+func (t QueryType) String() string {
+	switch t {
+	case Lineage:
+		return "lineage"
+	case BaseTuples:
+		return "base-tuples"
+	case Nodes:
+		return "nodes"
+	case DerivCount:
+		return "deriv-count"
+	}
+	return "unknown"
+}
+
+// Options tunes a query.
+type Options struct {
+	// UseCache reuses previously computed sub-results at each node
+	// (invalidated whenever the node's provenance partition changes).
+	UseCache bool
+	// Threshold, when > 0, bounds the number of alternative derivations
+	// explored per tuple; results are then lower bounds marked Pruned.
+	Threshold int
+	// Sequential explores children one at a time (DFS order) instead of
+	// issuing all sub-queries concurrently (BFS). Message counts match;
+	// latency differs.
+	Sequential bool
+}
+
+// TupleAt is a tuple together with its home node.
+type TupleAt struct {
+	Tuple rel.Tuple
+	Loc   string
+}
+
+// ProofDeriv is one derivation step in a proof tree.
+type ProofDeriv struct {
+	RID      rel.ID
+	Rule     string
+	RLoc     string
+	Children []*ProofNode
+}
+
+// ProofNode is one tuple vertex in a proof tree.
+type ProofNode struct {
+	VID    rel.ID
+	Tuple  rel.Tuple
+	Loc    string
+	Base   bool
+	Cycle  bool // traversal met this tuple again on its own path
+	Pruned bool // some derivations were not explored (threshold)
+	Derivs []*ProofDeriv
+}
+
+// Size counts the tuple vertices in the proof tree.
+func (p *ProofNode) Size() int {
+	n := 1
+	for _, d := range p.Derivs {
+		for _, c := range d.Children {
+			n += c.Size()
+		}
+	}
+	return n
+}
+
+// Depth returns the longest derivation chain length.
+func (p *ProofNode) Depth() int {
+	max := 0
+	for _, d := range p.Derivs {
+		for _, c := range d.Children {
+			if d := c.Depth(); d > max {
+				max = d
+			}
+		}
+	}
+	return max + 1
+}
+
+// Stats reports a query's cost.
+type Stats struct {
+	Messages int
+	Bytes    int
+	Latency  simnet.Time
+	// CacheHits counts sub-results served from node caches.
+	CacheHits int
+}
+
+// Result is a completed query.
+type Result struct {
+	Type   QueryType
+	Root   *ProofNode // Lineage
+	Bases  []TupleAt  // BaseTuples
+	Nodes  []string   // Nodes
+	Count  int        // DerivCount
+	Pruned bool
+	Stats  Stats
+}
+
+// subResult travels between nodes during traversal.
+type subResult struct {
+	Node   *ProofNode
+	Bases  []TupleAt
+	Nodes  map[string]bool
+	Count  int
+	Pruned bool
+}
+
+// MsgKind is the simnet message kind used by query traffic.
+const MsgKind = "provquery"
+
+type request struct {
+	qid     uint64
+	typ     QueryType
+	opts    Options
+	rid     rel.ID   // rule execution to expand at the receiver
+	visited []rel.ID // tuple VIDs on the path, for cycle detection
+	replyTo string
+}
+
+type response struct {
+	qid uint64
+	res subResult
+}
+
+// Service handles query traffic at one node.
+type Service struct {
+	addr    string
+	store   *provenance.Store
+	net     *simnet.Network
+	client  *Client
+	nextQID uint64
+	pending map[uint64]func(subResult)
+	cache   map[cacheKey]*cacheVal
+}
+
+type cacheKey struct {
+	vid       rel.ID
+	typ       QueryType
+	threshold int
+}
+
+type cacheVal struct {
+	res     subResult
+	version uint64
+}
+
+// Client coordinates queries over an engine's nodes.
+type Client struct {
+	eng      *engine.Engine
+	services map[string]*Service
+	// cacheHits accumulates across the most recent query.
+	cacheHits int
+}
+
+// Attach registers the provenance query service on every engine node.
+func Attach(eng *engine.Engine) (*Client, error) {
+	c := &Client{eng: eng, services: map[string]*Service{}}
+	for _, addr := range eng.Nodes() {
+		n, _ := eng.Node(addr)
+		if n.Prov == nil {
+			return nil, fmt.Errorf("provquery: node %s has no provenance store", addr)
+		}
+		c.services[addr] = &Service{
+			addr:    addr,
+			store:   n.Prov,
+			net:     eng.Net,
+			client:  c,
+			pending: map[uint64]func(subResult){},
+			cache:   map[cacheKey]*cacheVal{},
+		}
+	}
+	err := eng.RegisterService(MsgKind, func(n *engine.Node, m simnet.Message) {
+		svc, ok := c.services[n.Addr]
+		if !ok {
+			panic("provquery: message for unattached node " + n.Addr)
+		}
+		svc.handle(m)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Query runs a provenance query for the tuple at its owning node and
+// drives the network until the result is complete.
+func (c *Client) Query(typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
+	svc, ok := c.services[at]
+	if !ok {
+		return nil, fmt.Errorf("provquery: unknown node %s", at)
+	}
+	vid := t.VID()
+	if _, ok := svc.store.Derivations(vid); !ok {
+		return nil, fmt.Errorf("provquery: tuple %s has no provenance at %s", t, at)
+	}
+	c.cacheHits = 0
+	startMsgs, startBytes, _ := kindTotals(c.eng.Net)
+	startTime := c.eng.Net.Now()
+
+	var out *subResult
+	svc.resolveTuple(vid, nil, typ, opts, func(r subResult) { out = &r })
+	c.eng.Net.Run(0)
+	if out == nil {
+		return nil, fmt.Errorf("provquery: query for %s did not complete", t)
+	}
+	endMsgs, endBytes, _ := kindTotals(c.eng.Net)
+	res := &Result{
+		Type:   typ,
+		Pruned: out.Pruned,
+		Stats: Stats{
+			Messages:  endMsgs - startMsgs,
+			Bytes:     endBytes - startBytes,
+			Latency:   c.eng.Net.Now() - startTime,
+			CacheHits: c.cacheHits,
+		},
+	}
+	switch typ {
+	case Lineage:
+		res.Root = out.Node
+	case BaseTuples:
+		res.Bases = dedupBases(out.Bases)
+	case Nodes:
+		for n := range out.Nodes {
+			res.Nodes = append(res.Nodes, n)
+		}
+		sort.Strings(res.Nodes)
+	case DerivCount:
+		res.Count = out.Count
+	}
+	return res, nil
+}
+
+func kindTotals(net *simnet.Network) (msgs, bytes, drops int) {
+	k := net.KindTotals()[MsgKind]
+	return k.Messages, k.Bytes, 0
+}
+
+func dedupBases(in []TupleAt) []TupleAt {
+	seen := map[rel.ID]bool{}
+	var out []TupleAt
+	for _, b := range in {
+		vid := b.Tuple.VID()
+		if !seen[vid] {
+			seen[vid] = true
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// InvalidateCaches clears every node's query cache (tests/benches).
+func (c *Client) InvalidateCaches() {
+	for _, svc := range c.services {
+		svc.cache = map[cacheKey]*cacheVal{}
+	}
+}
+
+// ---- service internals -------------------------------------------------
+
+func (s *Service) handle(m simnet.Message) {
+	switch p := m.Payload.(type) {
+	case request:
+		s.expandExec(p)
+	case response:
+		cont, ok := s.pending[p.qid]
+		if !ok {
+			return // stale response (should not happen in simulation)
+		}
+		delete(s.pending, p.qid)
+		cont(p.res)
+	default:
+		panic(fmt.Sprintf("provquery: bad payload %T", m.Payload))
+	}
+}
+
+// resolveTuple computes the sub-result for a tuple stored at this node.
+func (s *Service) resolveTuple(vid rel.ID, visited []rel.ID, typ QueryType, opts Options, cont func(subResult)) {
+	for _, v := range visited {
+		if v == vid {
+			tuple, _ := s.store.TupleOf(vid)
+			cont(cycleResult(vid, tuple, s.addr, typ))
+			return
+		}
+	}
+	if opts.UseCache {
+		key := cacheKey{vid: vid, typ: typ, threshold: opts.Threshold}
+		if cv, ok := s.cache[key]; ok && cv.version == s.store.Version() {
+			s.client.cacheHits++
+			cont(cv.res)
+			return
+		}
+	}
+	tuple, ok := s.store.TupleOf(vid)
+	if !ok {
+		cont(missingResult(vid, s.addr, typ))
+		return
+	}
+	derivs, ok := s.store.Derivations(vid)
+	if !ok {
+		cont(missingResult(vid, s.addr, typ))
+		return
+	}
+	pruned := false
+	if opts.Threshold > 0 && len(derivs) > opts.Threshold {
+		derivs = derivs[:opts.Threshold]
+		pruned = true
+	}
+	node := &ProofNode{VID: vid, Tuple: tuple, Loc: s.addr, Pruned: pruned}
+	acc := subResult{
+		Node:   node,
+		Nodes:  map[string]bool{s.addr: true},
+		Pruned: pruned,
+	}
+	childVisited := append(append([]rel.ID(nil), visited...), vid)
+
+	var thunks []func(cont func(subResult))
+	for _, d := range derivs {
+		d := d
+		if d.RID.IsZero() {
+			node.Base = true
+			acc.Bases = append(acc.Bases, TupleAt{Tuple: tuple, Loc: s.addr})
+			acc.Count++
+			continue
+		}
+		thunks = append(thunks, func(cont func(subResult)) {
+			s.expandDeriv(d, childVisited, typ, opts, cont)
+		})
+	}
+	finish := func(results []subResult) {
+		for _, r := range results {
+			mergeInto(&acc, r)
+		}
+		if opts.UseCache {
+			key := cacheKey{vid: vid, typ: typ, threshold: opts.Threshold}
+			s.cache[key] = &cacheVal{res: acc, version: s.store.Version()}
+		}
+		cont(acc)
+	}
+	runAll(thunks, opts.Sequential, finish)
+}
+
+// expandDeriv resolves one derivation: locally when the rule executed
+// here, otherwise by querying the executing node.
+func (s *Service) expandDeriv(d provenance.Entry, visited []rel.ID, typ QueryType, opts Options, cont func(subResult)) {
+	if d.RLoc == s.addr {
+		s.expandExecLocal(d.RID, visited, typ, opts, cont)
+		return
+	}
+	qid := s.nextQIDFn()
+	s.pending[qid] = cont
+	req := request{qid: qid, typ: typ, opts: opts, rid: d.RID, visited: visited, replyTo: s.addr}
+	s.net.Send(simnet.Message{
+		From:     s.addr,
+		To:       d.RLoc,
+		Kind:     MsgKind,
+		Reliable: true,
+		Payload:  req,
+		Size:     requestSize(req),
+	})
+}
+
+func (s *Service) nextQIDFn() uint64 {
+	s.nextQID++
+	return s.nextQID
+}
+
+// expandExec handles a remote expansion request.
+func (s *Service) expandExec(req request) {
+	s.expandExecLocal(req.rid, req.visited, req.typ, req.opts, func(r subResult) {
+		resp := response{qid: req.qid, res: r}
+		s.net.Send(simnet.Message{
+			From:     s.addr,
+			To:       req.replyTo,
+			Kind:     MsgKind,
+			Reliable: true,
+			Payload:  resp,
+			Size:     responseSize(req.typ, r),
+		})
+	})
+}
+
+// expandExecLocal resolves a rule execution at this node: all its input
+// tuples are local; each is resolved (possibly recursing to other
+// nodes) and combined into a derivation-level result.
+func (s *Service) expandExecLocal(rid rel.ID, visited []rel.ID, typ QueryType, opts Options, cont func(subResult)) {
+	exec, ok := s.store.Exec(rid)
+	if !ok {
+		cont(missingResult(rid, s.addr, typ))
+		return
+	}
+	var thunks []func(cont func(subResult))
+	for _, vid := range exec.VIDs {
+		vid := vid
+		thunks = append(thunks, func(cont func(subResult)) {
+			s.resolveTuple(vid, visited, typ, opts, cont)
+		})
+	}
+	runAll(thunks, opts.Sequential, func(results []subResult) {
+		deriv := &ProofDeriv{RID: rid, Rule: exec.Rule, RLoc: s.addr}
+		out := subResult{
+			Nodes: map[string]bool{s.addr: true},
+			Count: 1,
+		}
+		for _, r := range results {
+			if r.Node != nil {
+				deriv.Children = append(deriv.Children, r.Node)
+			}
+			out.Bases = append(out.Bases, r.Bases...)
+			for n := range r.Nodes {
+				out.Nodes[n] = true
+			}
+			out.Count *= r.Count
+			out.Pruned = out.Pruned || r.Pruned
+		}
+		out.Node = &ProofNode{Derivs: []*ProofDeriv{deriv}} // carrier; merged by caller
+		cont(out)
+	})
+}
+
+// mergeInto folds a derivation-level result into a tuple-level result.
+func mergeInto(acc *subResult, r subResult) {
+	if r.Node != nil && acc.Node != nil {
+		acc.Node.Derivs = append(acc.Node.Derivs, r.Node.Derivs...)
+	}
+	acc.Bases = append(acc.Bases, r.Bases...)
+	for n := range r.Nodes {
+		acc.Nodes[n] = true
+	}
+	acc.Count += r.Count
+	acc.Pruned = acc.Pruned || r.Pruned
+}
+
+// runAll executes thunks either concurrently (all issued before any
+// completion) or sequentially (each issued from the previous one's
+// continuation), then calls done with results in order.
+func runAll(thunks []func(cont func(subResult)), sequential bool, done func([]subResult)) {
+	n := len(thunks)
+	if n == 0 {
+		done(nil)
+		return
+	}
+	results := make([]subResult, n)
+	if sequential {
+		var step func(i int)
+		step = func(i int) {
+			if i == n {
+				done(results)
+				return
+			}
+			thunks[i](func(r subResult) {
+				results[i] = r
+				step(i + 1)
+			})
+		}
+		step(0)
+		return
+	}
+	remaining := n
+	for i, th := range thunks {
+		i := i
+		th(func(r subResult) {
+			results[i] = r
+			remaining--
+			if remaining == 0 {
+				done(results)
+			}
+		})
+	}
+}
+
+func cycleResult(vid rel.ID, tuple rel.Tuple, loc string, typ QueryType) subResult {
+	return subResult{
+		Node:  &ProofNode{VID: vid, Tuple: tuple, Loc: loc, Cycle: true},
+		Nodes: map[string]bool{loc: true},
+		Count: 0,
+	}
+}
+
+func missingResult(id rel.ID, loc string, typ QueryType) subResult {
+	return subResult{
+		Node:  &ProofNode{VID: id, Loc: loc},
+		Nodes: map[string]bool{loc: true},
+		Count: 0,
+	}
+}
+
+// requestSize approximates the wire size of a query request.
+func requestSize(r request) int { return 64 + 20*len(r.visited) }
+
+// responseSize approximates the wire size of a sub-result by type:
+// lineage ships tree structure, base-tuples ships tuples, nodes ships
+// addresses, counts ship integers. This is what makes the cheaper query
+// types measurably cheaper, as in ExSPAN.
+func responseSize(typ QueryType, r subResult) int {
+	switch typ {
+	case Lineage:
+		n := 0
+		if r.Node != nil {
+			for _, d := range r.Node.Derivs {
+				for _, c := range d.Children {
+					n += c.Size()
+				}
+			}
+		}
+		return 48 + 96*n
+	case BaseTuples:
+		n := 48
+		for _, b := range r.Bases {
+			n += len(rel.MarshalTuple(b.Tuple)) + 8
+		}
+		return n
+	case Nodes:
+		return 48 + 16*len(r.Nodes)
+	case DerivCount:
+		return 56
+	}
+	return 48
+}

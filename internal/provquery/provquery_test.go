@@ -1,0 +1,347 @@
+package provquery
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/protocols"
+	"repro/internal/rel"
+)
+
+// buildLine creates a MINCOST engine over a line topology n1-...-nN with
+// unit costs and attaches the query service.
+func buildLine(t *testing.T, n int) (*engine.Engine, *Client) {
+	t.Helper()
+	e, err := protocols.Build(protocols.MinCost, protocols.NodeNames(n),
+		protocols.LineTopology(n, 1), engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Attach(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, c
+}
+
+func mincostTuple(s, d string, c int64) rel.Tuple {
+	return rel.NewTuple("mincost", rel.Addr(s), rel.Addr(d), rel.Int(c))
+}
+
+func TestLineageOfBaseTuple(t *testing.T) {
+	_, c := buildLine(t, 2)
+	link := rel.NewTuple("link", rel.Addr("n1"), rel.Addr("n2"), rel.Int(1))
+	res, err := c.Query(Lineage, "n1", link, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Root.Base || len(res.Root.Derivs) != 0 {
+		t.Fatalf("base tuple proof = %+v", res.Root)
+	}
+	if res.Stats.Messages != 0 {
+		t.Fatalf("local base query sent %d messages", res.Stats.Messages)
+	}
+}
+
+func TestLineageOfDerivedTuple(t *testing.T) {
+	_, c := buildLine(t, 3)
+	mc := mincostTuple("n1", "n3", 2)
+	res, err := c.Query(Lineage, "n1", mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Root
+	if root.Base || root.Cycle {
+		t.Fatalf("root flags wrong: %+v", root)
+	}
+	if root.Tuple.String() != "mincost(@n1, n3, 2)" {
+		t.Fatalf("root tuple = %s", root.Tuple)
+	}
+	if len(root.Derivs) == 0 {
+		t.Fatal("derived tuple has no derivations in proof")
+	}
+	// The proof tree must bottom out in link base tuples only.
+	var checkLeaves func(p *ProofNode)
+	var leafRels []string
+	checkLeaves = func(p *ProofNode) {
+		if p.Base {
+			leafRels = append(leafRels, p.Tuple.Rel)
+			return
+		}
+		if p.Cycle {
+			return
+		}
+		if len(p.Derivs) == 0 {
+			t.Fatalf("non-base leaf %s", p.Tuple)
+		}
+		for _, d := range p.Derivs {
+			if d.Rule == "" || d.RLoc == "" {
+				t.Fatalf("derivation missing rule/loc: %+v", d)
+			}
+			for _, ch := range d.Children {
+				checkLeaves(ch)
+			}
+		}
+	}
+	checkLeaves(root)
+	if len(leafRels) == 0 {
+		t.Fatal("no base leaves found")
+	}
+	for _, r := range leafRels {
+		if r != "link" {
+			t.Fatalf("unexpected base relation %s", r)
+		}
+	}
+	if res.Stats.Messages == 0 {
+		t.Fatal("cross-node lineage should require messages")
+	}
+	if root.Depth() < 3 {
+		t.Fatalf("depth = %d, want >= 3 (mincost<-cost<-...<-link)", root.Depth())
+	}
+}
+
+func TestBaseTuplesQuery(t *testing.T) {
+	_, c := buildLine(t, 3)
+	mc := mincostTuple("n1", "n3", 2)
+	res, err := c.Query(BaseTuples, "n1", mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bases) == 0 {
+		t.Fatal("no base tuples")
+	}
+	// mincost(n1,n3) depends at least on link(n1,n2) and link(n2,n3).
+	want := map[string]bool{
+		"link(@n1, n2, 1)": false,
+		"link(@n2, n3, 1)": false,
+	}
+	for _, b := range res.Bases {
+		if b.Tuple.Rel != "link" {
+			t.Fatalf("non-link base tuple %s", b.Tuple)
+		}
+		if _, ok := want[b.Tuple.String()]; ok {
+			want[b.Tuple.String()] = true
+		}
+		// Base tuples live at their location.
+		if loc, _ := b.Tuple.LocCol0(); loc != b.Loc {
+			t.Fatalf("base tuple %s reported at %s", b.Tuple, b.Loc)
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("missing base tuple %s in %v", k, res.Bases)
+		}
+	}
+}
+
+func TestNodesQuery(t *testing.T) {
+	_, c := buildLine(t, 4)
+	mc := mincostTuple("n1", "n4", 3)
+	res, err := c.Query(Nodes, "n1", mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n1, n2, n3 execute rules for this derivation; n4's link tuples
+	// live at n3, so n4 itself does not participate.
+	if len(res.Nodes) != 3 || res.Nodes[0] != "n1" || res.Nodes[1] != "n2" || res.Nodes[2] != "n3" {
+		t.Fatalf("nodes = %v", res.Nodes)
+	}
+}
+
+func TestDerivCountSingleAndMultiple(t *testing.T) {
+	// Line: unique derivation.
+	_, c := buildLine(t, 3)
+	res, err := c.Query(DerivCount, "n1", mincostTuple("n1", "n3", 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("line count = %d", res.Count)
+	}
+	// Diamond: n1-n2-n4 and n1-n3-n4, two equal-cost paths.
+	e2, err := protocols.Build(protocols.MinCost, protocols.NodeNames(4), []protocols.Edge{
+		{A: "n1", B: "n2", Cost: 1},
+		{A: "n1", B: "n3", Cost: 1},
+		{A: "n2", B: "n4", Cost: 1},
+		{A: "n3", B: "n4", Cost: 1},
+	}, engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Attach(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c2.Query(DerivCount, "n1", mincostTuple("n1", "n4", 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 {
+		t.Fatalf("diamond count = %d, want 2 alternative derivations", res.Count)
+	}
+}
+
+func TestQueryUnknownTupleErrors(t *testing.T) {
+	_, c := buildLine(t, 2)
+	_, err := c.Query(Lineage, "n1", mincostTuple("n1", "n9", 1), Options{})
+	if err == nil {
+		t.Fatal("query for unknown tuple must error")
+	}
+	_, err = c.Query(Lineage, "zz", mincostTuple("n1", "n2", 1), Options{})
+	if err == nil {
+		t.Fatal("query at unknown node must error")
+	}
+}
+
+func TestCachingReducesTraffic(t *testing.T) {
+	_, c := buildLine(t, 5)
+	mc := mincostTuple("n1", "n5", 4)
+	cold, err := c.Query(BaseTuples, "n1", mc, Options{UseCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.Query(BaseTuples, "n1", mc, Options{UseCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Messages == 0 {
+		t.Fatal("cold query should use messages")
+	}
+	if warm.Stats.Messages != 0 {
+		t.Fatalf("warm query sent %d messages, want 0 (root-level cache hit)", warm.Stats.Messages)
+	}
+	if warm.Stats.CacheHits == 0 {
+		t.Fatal("warm query recorded no cache hits")
+	}
+	// Results identical.
+	if len(cold.Bases) != len(warm.Bases) {
+		t.Fatalf("cached result differs: %v vs %v", cold.Bases, warm.Bases)
+	}
+	// Without cache, traffic recurs.
+	c.InvalidateCaches()
+	again, err := c.Query(BaseTuples, "n1", mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.Messages != cold.Stats.Messages {
+		t.Fatalf("uncached re-query %d msgs, cold %d", again.Stats.Messages, cold.Stats.Messages)
+	}
+}
+
+func TestCacheInvalidatedByProvenanceChange(t *testing.T) {
+	e, c := buildLine(t, 3)
+	mc := mincostTuple("n1", "n3", 2)
+	if _, err := c.Query(BaseTuples, "n1", mc, Options{UseCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Change topology: n1's provenance partition changes, so the cached
+	// root entry must not be served.
+	if err := e.AddBiLink("n1", "n3", 9); err != nil {
+		t.Fatal(err)
+	}
+	e.RunQuiescent()
+	res, err := c.Query(DerivCount, "n1", mincostTuple("n1", "n3", 2), Options{UseCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count < 1 {
+		t.Fatalf("count = %d", res.Count)
+	}
+}
+
+func TestThresholdPruning(t *testing.T) {
+	// Diamond topology gives 2 derivations; threshold 1 prunes.
+	e, err := protocols.Build(protocols.MinCost, protocols.NodeNames(4), []protocols.Edge{
+		{A: "n1", B: "n2", Cost: 1},
+		{A: "n1", B: "n3", Cost: 1},
+		{A: "n2", B: "n4", Cost: 1},
+		{A: "n3", B: "n4", Cost: 1},
+	}, engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Attach(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := mincostTuple("n1", "n4", 2)
+	full, err := c.Query(DerivCount, "n1", mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := c.Query(DerivCount, "n1", mc, Options{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pruned.Pruned {
+		t.Fatal("pruned query not marked")
+	}
+	if full.Pruned {
+		t.Fatal("full query wrongly marked pruned")
+	}
+	if pruned.Count >= full.Count {
+		t.Fatalf("pruned count %d !< full count %d", pruned.Count, full.Count)
+	}
+	if pruned.Stats.Messages >= full.Stats.Messages {
+		t.Fatalf("pruning did not reduce traffic: %d vs %d", pruned.Stats.Messages, full.Stats.Messages)
+	}
+}
+
+func TestSequentialAndParallelAgree(t *testing.T) {
+	_, c := buildLine(t, 5)
+	mc := mincostTuple("n1", "n5", 4)
+	par, err := c.Query(BaseTuples, "n1", mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.Query(BaseTuples, "n1", mc, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Bases) != len(seq.Bases) {
+		t.Fatalf("results differ: %v vs %v", par.Bases, seq.Bases)
+	}
+	for i := range par.Bases {
+		if !par.Bases[i].Tuple.Equal(seq.Bases[i].Tuple) {
+			t.Fatalf("base %d differs", i)
+		}
+	}
+	if par.Stats.Messages != seq.Stats.Messages {
+		t.Fatalf("message counts should match: %d vs %d", par.Stats.Messages, seq.Stats.Messages)
+	}
+}
+
+func TestLineageSurvivesTopologyChurn(t *testing.T) {
+	e, c := buildLine(t, 4)
+	// Remove and re-add the middle link, then query.
+	if err := e.RemoveBiLink("n2", "n3", 1); err != nil {
+		t.Fatal(err)
+	}
+	e.RunQuiescent()
+	if err := e.AddBiLink("n2", "n3", 1); err != nil {
+		t.Fatal(err)
+	}
+	e.RunQuiescent()
+	res, err := c.Query(Lineage, "n1", mincostTuple("n1", "n4", 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root.Size() < 4 {
+		t.Fatalf("proof size = %d", res.Root.Size())
+	}
+}
+
+func TestQueryTrafficAccountedSeparatelyFromDeltas(t *testing.T) {
+	e, c := buildLine(t, 3)
+	before := e.Net.KindTotals()[engine.KindDelta].Messages
+	if _, err := c.Query(Nodes, "n1", mincostTuple("n1", "n3", 2), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Net.KindTotals()[engine.KindDelta].Messages
+	if before != after {
+		t.Fatal("query must not generate delta traffic")
+	}
+	if e.Net.KindTotals()[MsgKind].Messages == 0 {
+		t.Fatal("query traffic not accounted under provquery kind")
+	}
+}

@@ -1,0 +1,166 @@
+package rel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codec for values and tuples. The encoding is deterministic (the
+// same value always encodes to the same bytes), which makes it usable for
+// both wire transfer and content hashing (VIDs).
+
+// EncodeValue appends the canonical binary encoding of v to buf.
+func EncodeValue(buf *bytes.Buffer, v Value) {
+	buf.WriteByte(byte(v.kind))
+	switch v.kind {
+	case KindInt, KindBool:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v.num))
+		buf.Write(b[:])
+	case KindFloat:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.f))
+		buf.Write(b[:])
+	case KindString, KindAddr:
+		writeUvarint(buf, uint64(len(v.str)))
+		buf.WriteString(v.str)
+	case KindID:
+		buf.Write(v.id[:])
+	case KindList:
+		writeUvarint(buf, uint64(len(v.list)))
+		for _, e := range v.list {
+			EncodeValue(buf, e)
+		}
+	}
+}
+
+// DecodeValue reads one value from r.
+func DecodeValue(r *bytes.Reader) (Value, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return Value{}, fmt.Errorf("rel: decode kind: %w", err)
+	}
+	k := Kind(kb)
+	switch k {
+	case KindInt, KindBool:
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return Value{}, fmt.Errorf("rel: decode int: %w", err)
+		}
+		return Value{kind: k, num: int64(binary.LittleEndian.Uint64(b[:]))}, nil
+	case KindFloat:
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return Value{}, fmt.Errorf("rel: decode float: %w", err)
+		}
+		return Value{kind: k, f: math.Float64frombits(binary.LittleEndian.Uint64(b[:]))}, nil
+	case KindString, KindAddr:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Value{}, fmt.Errorf("rel: decode string len: %w", err)
+		}
+		if n > uint64(r.Len()) {
+			return Value{}, fmt.Errorf("rel: decode string: length %d exceeds input", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return Value{}, fmt.Errorf("rel: decode string: %w", err)
+		}
+		return Value{kind: k, str: string(b)}, nil
+	case KindID:
+		var id ID
+		if _, err := io.ReadFull(r, id[:]); err != nil {
+			return Value{}, fmt.Errorf("rel: decode id: %w", err)
+		}
+		return Value{kind: k, id: id}, nil
+	case KindList:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Value{}, fmt.Errorf("rel: decode list len: %w", err)
+		}
+		if n > uint64(r.Len()) {
+			return Value{}, fmt.Errorf("rel: decode list: length %d exceeds input", n)
+		}
+		list := make([]Value, n)
+		for i := range list {
+			e, err := DecodeValue(r)
+			if err != nil {
+				return Value{}, err
+			}
+			list[i] = e
+		}
+		return Value{kind: k, list: list}, nil
+	default:
+		return Value{}, fmt.Errorf("rel: decode: unknown kind %d", kb)
+	}
+}
+
+// EncodeTuple appends the canonical binary encoding of t to buf.
+func EncodeTuple(buf *bytes.Buffer, t Tuple) {
+	writeUvarint(buf, uint64(len(t.Rel)))
+	buf.WriteString(t.Rel)
+	writeUvarint(buf, uint64(len(t.Vals)))
+	for _, v := range t.Vals {
+		EncodeValue(buf, v)
+	}
+}
+
+// DecodeTuple reads one tuple from r.
+func DecodeTuple(r *bytes.Reader) (Tuple, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("rel: decode rel len: %w", err)
+	}
+	if n > uint64(r.Len()) {
+		return Tuple{}, fmt.Errorf("rel: decode rel name: length %d exceeds input", n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return Tuple{}, fmt.Errorf("rel: decode rel name: %w", err)
+	}
+	arity, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("rel: decode arity: %w", err)
+	}
+	if arity > uint64(r.Len()) {
+		return Tuple{}, fmt.Errorf("rel: decode tuple: arity %d exceeds input", arity)
+	}
+	vals := make([]Value, arity)
+	for i := range vals {
+		v, err := DecodeValue(r)
+		if err != nil {
+			return Tuple{}, err
+		}
+		vals[i] = v
+	}
+	return Tuple{Rel: string(name), Vals: vals}, nil
+}
+
+// MarshalTuple returns the canonical binary encoding of t.
+func MarshalTuple(t Tuple) []byte {
+	var buf bytes.Buffer
+	EncodeTuple(&buf, t)
+	return buf.Bytes()
+}
+
+// UnmarshalTuple decodes a tuple from b, requiring full consumption.
+func UnmarshalTuple(b []byte) (Tuple, error) {
+	r := bytes.NewReader(b)
+	t, err := DecodeTuple(r)
+	if err != nil {
+		return Tuple{}, err
+	}
+	if r.Len() != 0 {
+		return Tuple{}, fmt.Errorf("rel: %d trailing bytes after tuple", r.Len())
+	}
+	return t, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, u uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], u)
+	buf.Write(b[:n])
+}

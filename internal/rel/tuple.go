@@ -1,0 +1,142 @@
+package rel
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Tuple is a fact: a relation name plus an ordered list of values.
+// By NDlog convention the location attribute, if any, is identified by
+// the relation's schema (usually column 0, written @X in rules).
+type Tuple struct {
+	Rel  string
+	Vals []Value
+}
+
+// NewTuple builds a tuple; the values slice is copied.
+func NewTuple(relName string, vals ...Value) Tuple {
+	cp := make([]Value, len(vals))
+	copy(cp, vals)
+	return Tuple{Rel: relName, Vals: cp}
+}
+
+// Arity returns the number of attributes.
+func (t Tuple) Arity() int { return len(t.Vals) }
+
+// Equal reports deep equality of relation name and all values.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Rel != o.Rel || len(t.Vals) != len(o.Vals) {
+		return false
+	}
+	for i := range t.Vals {
+		if !t.Vals[i].Equal(o.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare totally orders tuples by relation name then attribute values.
+func (t Tuple) Compare(o Tuple) int {
+	if c := strings.Compare(t.Rel, o.Rel); c != 0 {
+		return c
+	}
+	n := len(t.Vals)
+	if len(o.Vals) < n {
+		n = len(o.Vals)
+	}
+	for i := 0; i < n; i++ {
+		if c := t.Vals[i].Compare(o.Vals[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t.Vals) < len(o.Vals):
+		return -1
+	case len(t.Vals) > len(o.Vals):
+		return 1
+	}
+	return 0
+}
+
+// VID returns the tuple's content hash — its vertex ID in the provenance
+// graph. Identical tuples always share a VID, across nodes and runs.
+func (t Tuple) VID() ID {
+	var buf bytes.Buffer
+	EncodeTuple(&buf, t)
+	return HashBytes(buf.Bytes())
+}
+
+// String renders the tuple in NDlog syntax, marking the location
+// attribute of column 0 when it is an address: rel(@loc, v1, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteString(t.Rel)
+	b.WriteByte('(')
+	for i, v := range t.Vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if i == 0 && v.kind == KindAddr {
+			b.WriteByte('@')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Loc returns the tuple's location attribute per the schema; ok is false
+// when the relation has no location attribute or the column is not an
+// address.
+func (t Tuple) Loc(s *Schema) (string, bool) {
+	if s == nil || s.LocIndex < 0 || s.LocIndex >= len(t.Vals) {
+		return "", false
+	}
+	return t.Vals[s.LocIndex].AsAddr()
+}
+
+// LocCol0 returns the address in column 0, the overwhelmingly common
+// NDlog convention, without consulting a schema.
+func (t Tuple) LocCol0() (string, bool) {
+	if len(t.Vals) == 0 {
+		return "", false
+	}
+	return t.Vals[0].AsAddr()
+}
+
+// KeyHash hashes the projection of t onto the given columns (used for
+// primary-key replacement semantics and join indexes).
+func (t Tuple) KeyHash(cols []int) (uint64, error) {
+	var buf bytes.Buffer
+	for _, c := range cols {
+		if c < 0 || c >= len(t.Vals) {
+			return 0, fmt.Errorf("rel: key column %d out of range for %s/%d", c, t.Rel, len(t.Vals))
+		}
+		EncodeValue(&buf, t.Vals[c])
+	}
+	return HashBytes(buf.Bytes()).Hash64(), nil
+}
+
+// Hash64 folds the first 8 bytes of an ID into a uint64.
+func (id ID) Hash64() uint64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(id[i]) << (8 * uint(i))
+	}
+	return u
+}
+
+// KeyEqual reports whether two tuples agree on the given columns.
+func KeyEqual(a, b Tuple, cols []int) bool {
+	for _, c := range cols {
+		if c >= len(a.Vals) || c >= len(b.Vals) {
+			return false
+		}
+		if !a.Vals[c].Equal(b.Vals[c]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleBasics(t *testing.T) {
+	tp := NewTuple("link", Addr("n1"), Addr("n2"), Int(3))
+	if tp.Arity() != 3 {
+		t.Fatalf("arity = %d", tp.Arity())
+	}
+	if got := tp.String(); got != "link(@n1, n2, 3)" {
+		t.Fatalf("String = %q", got)
+	}
+	if loc, ok := tp.LocCol0(); !ok || loc != "n1" {
+		t.Fatalf("LocCol0 = %q %v", loc, ok)
+	}
+}
+
+func TestNewTupleCopies(t *testing.T) {
+	vals := []Value{Int(1)}
+	tp := NewTuple("r", vals...)
+	vals[0] = Int(9)
+	if got, _ := tp.Vals[0].AsInt(); got != 1 {
+		t.Fatal("NewTuple aliased input slice")
+	}
+}
+
+func TestVIDStableAndDistinct(t *testing.T) {
+	a := NewTuple("link", Addr("n1"), Addr("n2"), Int(3))
+	b := NewTuple("link", Addr("n1"), Addr("n2"), Int(3))
+	c := NewTuple("link", Addr("n1"), Addr("n2"), Int(4))
+	d := NewTuple("path", Addr("n1"), Addr("n2"), Int(3))
+	if a.VID() != b.VID() {
+		t.Fatal("identical tuples must share VID")
+	}
+	if a.VID() == c.VID() || a.VID() == d.VID() {
+		t.Fatal("distinct tuples must have distinct VIDs")
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	a := NewTuple("a", Int(1))
+	b := NewTuple("b", Int(1))
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 {
+		t.Fatal("relation name must dominate compare")
+	}
+	short := NewTuple("a", Int(1))
+	long := NewTuple("a", Int(1), Int(2))
+	if short.Compare(long) >= 0 {
+		t.Fatal("shorter prefix tuple must compare less")
+	}
+	if !a.Equal(NewTuple("a", Int(1))) {
+		t.Fatal("Equal failed on identical tuples")
+	}
+	if a.Equal(long) {
+		t.Fatal("Equal must consider arity")
+	}
+}
+
+func TestTupleLocWithSchema(t *testing.T) {
+	s := NewSchema("route", 3, 0, 1)
+	tp := NewTuple("route", Addr("n2"), Str("p"), Int(1))
+	if loc, ok := tp.Loc(s); !ok || loc != "n2" {
+		t.Fatalf("Loc = %q %v", loc, ok)
+	}
+	noLoc := &Schema{Name: "x", Arity: 1, LocIndex: -1}
+	if _, ok := NewTuple("x", Int(1)).Loc(noLoc); ok {
+		t.Fatal("LocIndex -1 must yield no location")
+	}
+}
+
+func TestKeyHashAndKeyEqual(t *testing.T) {
+	a := NewTuple("r", Addr("n1"), Str("k"), Int(1))
+	b := NewTuple("r", Addr("n1"), Str("k"), Int(2))
+	ha, err := a.KeyHash([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.KeyHash([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("tuples agreeing on key columns must hash equal")
+	}
+	if !KeyEqual(a, b, []int{0, 1}) {
+		t.Fatal("KeyEqual on shared key failed")
+	}
+	if KeyEqual(a, b, []int{2}) {
+		t.Fatal("KeyEqual must detect differing column")
+	}
+	if _, err := a.KeyHash([]int{5}); err == nil {
+		t.Fatal("out-of-range key column must error")
+	}
+}
+
+func TestPropertyTupleCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(6)
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = randomValue(r, 2)
+		}
+		tp := Tuple{Rel: "rel" + randString(r), Vals: vals}
+		got, err := UnmarshalTuple(MarshalTuple(tp))
+		if err != nil {
+			return false
+		}
+		return got.Equal(tp) && got.VID() == tp.VID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalTupleErrors(t *testing.T) {
+	if _, err := UnmarshalTuple(nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	good := MarshalTuple(NewTuple("r", Int(1)))
+	if _, err := UnmarshalTuple(append(good, 0x00)); err == nil {
+		t.Fatal("trailing bytes must error")
+	}
+	if _, err := UnmarshalTuple(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated input must error")
+	}
+	// Huge declared length must not allocate/panic.
+	if _, err := UnmarshalTuple([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}); err == nil {
+		t.Fatal("oversized length must error")
+	}
+}
+
+func TestParseID(t *testing.T) {
+	id := HashBytes([]byte("hello"))
+	back, err := ParseID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatal("ParseID round trip failed")
+	}
+	if _, err := ParseID("zz"); err == nil {
+		t.Fatal("bad hex must error")
+	}
+	if _, err := ParseID("abcd"); err == nil {
+		t.Fatal("short id must error")
+	}
+	if ZeroID.IsZero() != true || id.IsZero() {
+		t.Fatal("IsZero misbehaves")
+	}
+	if len(id.Short()) != 8 {
+		t.Fatalf("Short length = %d", len(id.Short()))
+	}
+}
+
+func TestHashParts(t *testing.T) {
+	a := HashParts([]byte("ab"), []byte("c"))
+	b := HashParts([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("HashParts must frame part boundaries")
+	}
+	if HashParts([]byte("x")) != HashParts([]byte("x")) {
+		t.Fatal("HashParts must be deterministic")
+	}
+}

@@ -1,0 +1,210 @@
+// Package rewrite implements NDlog's two compile-time program
+// transformations:
+//
+//  1. Localization (Loo et al., "Declarative Networking"): rules whose
+//     bodies span two nodes are split into link-restricted local rules
+//     plus an intermediate relation shipped across the connecting link
+//     atom.
+//  2. The ExSPAN provenance rewrite (Zhou et al., SIGMOD 2010): given a
+//     program, emit additional rules that define the distributed
+//     provenance relations prov(@Loc,VID,RID,RLoc) and
+//     ruleExec(@RLoc,RID,Rule,VIDList) as views over the program's
+//     derivations.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ndlog"
+)
+
+// Localize rewrites every multi-location rule into link-restricted local
+// rules. The returned program is new; the input is not mutated. Rules
+// already local (all body atoms at one location variable) pass through
+// unchanged. Bodies spanning more than two location variables, or two
+// locations with no connecting atom, are rejected.
+func Localize(p *ndlog.Program) (*ndlog.Program, error) {
+	out := &ndlog.Program{Name: p.Name}
+	for _, m := range p.Materialized {
+		out.Materialized = append(out.Materialized, &ndlog.MaterializeDecl{
+			Name: m.Name, Lifetime: m.Lifetime, Size: m.Size, Keys: append([]int(nil), m.Keys...),
+		})
+	}
+	for _, r := range p.Rules {
+		if r.Maybe || len(r.Body) == 0 {
+			out.Rules = append(out.Rules, r.Clone())
+			continue
+		}
+		locs := bodyLocVars(r)
+		switch len(locs) {
+		case 0:
+			return nil, fmt.Errorf("rewrite: rule %s: no body location variables", ruleName(r))
+		case 1:
+			out.Rules = append(out.Rules, r.Clone())
+		case 2:
+			stage1, stage2, decl, err := splitRule(r)
+			if err != nil {
+				return nil, err
+			}
+			out.Materialized = append(out.Materialized, decl)
+			out.Rules = append(out.Rules, stage1, stage2)
+		default:
+			return nil, fmt.Errorf("rewrite: rule %s: body spans %d locations; NDlog rules must be link-restricted (≤2)", ruleName(r), len(locs))
+		}
+	}
+	return out, nil
+}
+
+func ruleName(r *ndlog.Rule) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return r.Head.Rel
+}
+
+// bodyLocVars returns the distinct location variables of the body atoms,
+// sorted for determinism.
+func bodyLocVars(r *ndlog.Rule) []string {
+	set := map[string]bool{}
+	for _, a := range r.BodyAtoms() {
+		if lv, ok := a.LocVar(); ok {
+			set[lv] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitRule performs the two-location rewrite. It finds a connecting
+// atom (an atom at location X that mentions the other location variable
+// Y), evaluates everything X-local first, ships an intermediate tuple to
+// Y, and finishes there.
+func splitRule(r *ndlog.Rule) (stage1, stage2 *ndlog.Rule, decl *ndlog.MaterializeDecl, err error) {
+	name := ruleName(r)
+	locs := bodyLocVars(r)
+	// Find origin: a body atom whose location variable is one of the two
+	// and whose arguments mention the other.
+	var origin, remote string
+	for _, a := range r.BodyAtoms() {
+		lv, _ := a.LocVar()
+		other := locs[0]
+		if lv == locs[0] {
+			other = locs[1]
+		}
+		vars := map[string]bool{}
+		a.Vars(vars)
+		if vars[other] {
+			origin, remote = lv, other
+			break
+		}
+	}
+	if origin == "" {
+		return nil, nil, nil, fmt.Errorf("rewrite: rule %s: not link-restricted (no body atom connects %s and %s)", name, locs[0], locs[1])
+	}
+
+	// Partition terms between the stages. Atoms go by location; a
+	// condition or assignment goes to stage 1 iff its variables are all
+	// bound by stage-1 atoms or earlier stage-1 assignments.
+	bound1 := map[string]bool{}
+	for _, a := range r.BodyAtoms() {
+		if lv, _ := a.LocVar(); lv == origin {
+			a.Vars(bound1)
+		}
+	}
+	var body1, body2 []ndlog.Term
+	for _, t := range r.Body {
+		switch t := t.(type) {
+		case *ndlog.Atom:
+			if lv, _ := t.LocVar(); lv == origin {
+				body1 = append(body1, cloneTerm(t))
+			} else {
+				body2 = append(body2, cloneTerm(t))
+			}
+		case *ndlog.Assign:
+			vars := map[string]bool{}
+			t.Expr.ExprVars(vars)
+			if allIn(vars, bound1) {
+				body1 = append(body1, cloneTerm(t))
+				bound1[t.Var] = true
+			} else {
+				body2 = append(body2, cloneTerm(t))
+			}
+		case *ndlog.Cond:
+			vars := map[string]bool{}
+			t.Vars(vars)
+			if allIn(vars, bound1) {
+				body1 = append(body1, cloneTerm(t))
+			} else {
+				body2 = append(body2, cloneTerm(t))
+			}
+		}
+	}
+
+	// Variables the intermediate must carry: everything stage 2 or the
+	// head reads that stage 1 binds, with the remote location variable
+	// first (it becomes the @ column).
+	need := map[string]bool{}
+	r.Head.Vars(need)
+	for _, t := range body2 {
+		t.Vars(need)
+	}
+	// Assignments in stage 2 bind their own targets.
+	for _, t := range body2 {
+		if a, ok := t.(*ndlog.Assign); ok {
+			delete(need, a.Var)
+		}
+	}
+	var carry []string
+	for v := range need {
+		if v != remote && bound1[v] {
+			carry = append(carry, v)
+		}
+	}
+	sort.Strings(carry)
+
+	interName := fmt.Sprintf("e_%s_%s", name, remote)
+	interArgs := []ndlog.Arg{&ndlog.VarArg{Name: remote}}
+	for _, v := range carry {
+		interArgs = append(interArgs, &ndlog.VarArg{Name: v})
+	}
+	interHead := &ndlog.Atom{Rel: interName, Args: interArgs, LocArg: 0}
+
+	stage1 = &ndlog.Rule{Label: name + "_loc1", Head: interHead, Body: body1}
+	stage2Body := append([]ndlog.Term{interHead.Clone()}, body2...)
+	stage2 = &ndlog.Rule{Label: name + "_loc2", Head: r.Head.Clone(), Body: stage2Body}
+
+	// The intermediate is materialized so deletions propagate through
+	// counting and late-arriving remote-side tuples can still join.
+	keys := make([]int, len(interArgs))
+	for i := range keys {
+		keys[i] = i + 1
+	}
+	decl = &ndlog.MaterializeDecl{Name: interName, Lifetime: "infinity", Size: "infinity", Keys: keys}
+	return stage1, stage2, decl, nil
+}
+
+func allIn(vars, bound map[string]bool) bool {
+	for v := range vars {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneTerm(t ndlog.Term) ndlog.Term {
+	switch t := t.(type) {
+	case *ndlog.Atom:
+		return t.Clone()
+	case *ndlog.Cond, *ndlog.Assign:
+		// Clone via a throwaway rule to reuse the AST deep copy.
+		r := &ndlog.Rule{Head: &ndlog.Atom{Rel: "x"}, Body: []ndlog.Term{t}}
+		return r.Clone().Body[0]
+	}
+	panic("rewrite: unknown term type")
+}

@@ -1,0 +1,70 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+func TestDeletionSafetyFlagsPureRecursion(t *testing.T) {
+	src := `
+materialize(edge, infinity, infinity, keys(1,2,3)).
+materialize(reach, infinity, infinity, keys(1,2,3)).
+r1 reach(@N,X,Y) :- edge(@N,X,Y).
+r2 reach(@N,X,Z) :- edge(@N,X,Y), reach(@N,Y,Z).
+`
+	warnings := DeletionSafety(ndlog.MustParse(src))
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "rule r2") {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}
+
+func TestDeletionSafetyAcceptsDemoProtocols(t *testing.T) {
+	// All four demo protocols are derivation-height-monotone: their
+	// recursion is damped by bounds, f_member loop checks, or
+	// aggregates.
+	programs := map[string]string{
+		"mincost": `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(cost, infinity, infinity, keys(1,2,3)).
+materialize(mincost, infinity, infinity, keys(1,2)).
+mc1 cost(@S,D,C) :- link(@S,D,C).
+mc2 cost(@S,D,C) :- link(@S,Z,C1), mincost(@Z,D,C2), S != D, C := C1 + C2, C < 64.
+mc3 mincost(@S,D,min<C>) :- cost(@S,D,C).
+`,
+		"dsr": `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(route, infinity, infinity, keys(1,2,3)).
+dsr1 route(@S,D,P) :- link(@S,D,_), P := f_initlist(S,D).
+dsr2 route(@S,D,P) :- link(@S,Z,_), route(@Z,D,P2), f_member(P2,S) == 0, P := f_prepend(S,P2).
+`,
+	}
+	for name, src := range programs {
+		if w := DeletionSafety(ndlog.MustParse(src)); len(w) != 0 {
+			t.Errorf("%s flagged: %v", name, w)
+		}
+	}
+}
+
+func TestDeletionSafetyMutualRecursion(t *testing.T) {
+	// Mutual recursion through two relations is still a cycle.
+	src := `
+r1 a(@N,X) :- b(@N,X).
+r2 b(@N,X) :- a(@N,X), c(@N,X).
+`
+	warnings := DeletionSafety(ndlog.MustParse(src))
+	if len(warnings) != 2 {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}
+
+func TestDeletionSafetyNonRecursiveClean(t *testing.T) {
+	src := `
+r1 a(@N,X) :- b(@N,X).
+r2 c(@N,X) :- a(@N,X), b(@N,X).
+`
+	if w := DeletionSafety(ndlog.MustParse(src)); len(w) != 0 {
+		t.Fatalf("warnings = %v", w)
+	}
+}

@@ -1,0 +1,450 @@
+// Package simnet is a deterministic discrete-event network simulator,
+// standing in for ns-3 in the NetTrails architecture. It provides nodes
+// with message handlers, point-to-point links with latency and loss,
+// link up/down dynamics, position-based radio connectivity for mobile
+// scenarios, timers, and per-link/per-kind traffic accounting used by
+// the provenance query-optimization experiments.
+//
+// Everything is deterministic given the seed: events are ordered by
+// (time, sequence number) and the only randomness is the seeded PRNG
+// used for message loss.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Time is simulated time in microseconds.
+type Time int64
+
+// Millisecond and friends express common durations in simulated time.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * Millisecond
+)
+
+// Message is one network message between nodes.
+type Message struct {
+	From    string
+	To      string
+	Kind    string // traffic category, e.g. "delta", "query", "snapshot"
+	Payload interface{}
+	Size    int // bytes, for traffic accounting
+	// Reliable marks control-plane traffic carried over a reliable
+	// transport (RapidNet ships tuple deltas over TCP): it is never
+	// dropped by link loss or link-down state and falls back to
+	// DefaultLatency routing when the direct link is unavailable,
+	// overriding DirectOnly.
+	Reliable bool
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(m Message)
+
+// LinkStats accumulates traffic over one link (both directions).
+type LinkStats struct {
+	Messages int
+	Bytes    int
+	Drops    int
+}
+
+// Link is an undirected point-to-point connection.
+type Link struct {
+	A, B    string
+	Latency Time
+	Loss    float64 // probability each message is dropped
+	Up      bool
+	Stats   LinkStats
+}
+
+type linkKey struct{ a, b string }
+
+func keyFor(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Position is a 2-D coordinate for radio-range connectivity.
+type Position struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between positions.
+func (p Position) Dist(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+type node struct {
+	name    string
+	handler Handler
+	pos     Position
+	sent    LinkStats
+	recv    LinkStats
+}
+
+// KindStats accumulates traffic by message kind.
+type KindStats struct {
+	Messages int
+	Bytes    int
+}
+
+// Network is the simulator instance.
+type Network struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nodes  map[string]*node
+	links  map[linkKey]*Link
+	rng    *rand.Rand
+
+	// DefaultLatency applies to node pairs without a direct link,
+	// modelling IP connectivity between non-adjacent nodes (provenance
+	// queries travel over IP, not over protocol links). Set
+	// DirectOnly to drop such traffic instead.
+	DefaultLatency Time
+	DirectOnly     bool
+
+	kinds map[string]*KindStats
+
+	totalMsgs  int
+	totalBytes int
+	totalDrops int
+}
+
+// New creates an empty network with the given PRNG seed.
+func New(seed int64) *Network {
+	return &Network{
+		nodes:          map[string]*node{},
+		links:          map[linkKey]*Link{},
+		rng:            rand.New(rand.NewSource(seed)),
+		DefaultLatency: 1 * Millisecond,
+		kinds:          map[string]*KindStats{},
+	}
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() Time { return n.now }
+
+// AddNode registers a node; replacing an existing handler is an error.
+func (n *Network) AddNode(name string, h Handler) error {
+	if name == "" {
+		return fmt.Errorf("simnet: empty node name")
+	}
+	if _, ok := n.nodes[name]; ok {
+		return fmt.Errorf("simnet: node %s already exists", name)
+	}
+	n.nodes[name] = &node{name: name, handler: h}
+	return nil
+}
+
+// SetHandler replaces a node's message handler.
+func (n *Network) SetHandler(name string, h Handler) error {
+	nd, ok := n.nodes[name]
+	if !ok {
+		return fmt.Errorf("simnet: unknown node %s", name)
+	}
+	nd.handler = h
+	return nil
+}
+
+// Nodes returns all node names, sorted.
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasNode reports whether the node exists.
+func (n *Network) HasNode(name string) bool {
+	_, ok := n.nodes[name]
+	return ok
+}
+
+// Connect creates (or re-activates) an undirected link.
+func (n *Network) Connect(a, b string, latency Time) (*Link, error) {
+	if a == b {
+		return nil, fmt.Errorf("simnet: self-link %s", a)
+	}
+	if !n.HasNode(a) || !n.HasNode(b) {
+		return nil, fmt.Errorf("simnet: connect %s-%s: unknown node", a, b)
+	}
+	k := keyFor(a, b)
+	if l, ok := n.links[k]; ok {
+		l.Latency = latency
+		l.Up = true
+		return l, nil
+	}
+	l := &Link{A: k.a, B: k.b, Latency: latency, Up: true}
+	n.links[k] = l
+	return l, nil
+}
+
+// Disconnect removes a link entirely.
+func (n *Network) Disconnect(a, b string) {
+	delete(n.links, keyFor(a, b))
+}
+
+// SetLinkUp marks a link up or down; unknown links are ignored.
+func (n *Network) SetLinkUp(a, b string, up bool) {
+	if l, ok := n.links[keyFor(a, b)]; ok {
+		l.Up = up
+	}
+}
+
+// LinkBetween returns the link between two nodes, if any.
+func (n *Network) LinkBetween(a, b string) (*Link, bool) {
+	l, ok := n.links[keyFor(a, b)]
+	return l, ok
+}
+
+// Links returns all links sorted by endpoints.
+func (n *Network) Links() []*Link {
+	out := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Neighbors returns the nodes connected to name by an up link, sorted.
+func (n *Network) Neighbors(name string) []string {
+	var out []string
+	for _, l := range n.links {
+		if !l.Up {
+			continue
+		}
+		if l.A == name {
+			out = append(out, l.B)
+		} else if l.B == name {
+			out = append(out, l.A)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetPosition places a node for radio-range connectivity.
+func (n *Network) SetPosition(name string, p Position) error {
+	nd, ok := n.nodes[name]
+	if !ok {
+		return fmt.Errorf("simnet: unknown node %s", name)
+	}
+	nd.pos = p
+	return nil
+}
+
+// PositionOf returns a node's position.
+func (n *Network) PositionOf(name string) (Position, bool) {
+	nd, ok := n.nodes[name]
+	if !ok {
+		return Position{}, false
+	}
+	return nd.pos, true
+}
+
+// InRange reports whether two nodes are within radio range r.
+func (n *Network) InRange(a, b string, r float64) bool {
+	na, ok1 := n.nodes[a]
+	nb, ok2 := n.nodes[b]
+	return ok1 && ok2 && na.pos.Dist(nb.pos) <= r
+}
+
+// Send schedules delivery of a message. Direct links use their latency
+// and loss; node pairs without a link use DefaultLatency unless
+// DirectOnly is set, in which case the message is dropped. Local sends
+// (from == to) are delivered after a zero-latency scheduling step.
+func (n *Network) Send(m Message) {
+	if _, ok := n.nodes[m.To]; !ok {
+		n.totalDrops++
+		return
+	}
+	var latency Time
+	var link *Link
+	if m.From != m.To {
+		if l, ok := n.links[keyFor(m.From, m.To)]; ok {
+			link = l
+			switch {
+			case !l.Up:
+				if !m.Reliable {
+					l.Stats.Drops++
+					n.totalDrops++
+					return
+				}
+				link = nil // rerouted around the down link
+				latency = n.DefaultLatency
+			case !m.Reliable && l.Loss > 0 && n.rng.Float64() < l.Loss:
+				l.Stats.Drops++
+				n.totalDrops++
+				return
+			default:
+				latency = l.Latency
+			}
+		} else if n.DirectOnly && !m.Reliable {
+			n.totalDrops++
+			return
+		} else {
+			latency = n.DefaultLatency
+		}
+	}
+	n.account(m, link)
+	msg := m
+	n.schedule(latency, func() {
+		if nd, ok := n.nodes[msg.To]; ok && nd.handler != nil {
+			nd.recv.Messages++
+			nd.recv.Bytes += msg.Size
+			nd.handler(msg)
+		}
+	})
+}
+
+func (n *Network) account(m Message, l *Link) {
+	n.totalMsgs++
+	n.totalBytes += m.Size
+	if nd, ok := n.nodes[m.From]; ok {
+		nd.sent.Messages++
+		nd.sent.Bytes += m.Size
+	}
+	if l != nil {
+		l.Stats.Messages++
+		l.Stats.Bytes += m.Size
+	}
+	ks, ok := n.kinds[m.Kind]
+	if !ok {
+		ks = &KindStats{}
+		n.kinds[m.Kind] = ks
+	}
+	ks.Messages++
+	ks.Bytes += m.Size
+}
+
+// After schedules fn to run after delay.
+func (n *Network) After(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	n.schedule(delay, fn)
+}
+
+func (n *Network) schedule(delay Time, fn func()) {
+	n.seq++
+	heap.Push(&n.events, &event{at: n.now + delay, seq: n.seq, fn: fn})
+}
+
+// Step executes the next event; it reports false when the queue is
+// empty.
+func (n *Network) Step() bool {
+	if n.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&n.events).(*event)
+	n.now = e.at
+	e.fn()
+	return true
+}
+
+// Run drains the event queue up to maxEvents (0 = unlimited) and returns
+// the number of events executed.
+func (n *Network) Run(maxEvents int) int {
+	count := 0
+	for n.Step() {
+		count++
+		if maxEvents > 0 && count >= maxEvents {
+			break
+		}
+	}
+	return count
+}
+
+// RunUntil executes events with time <= deadline and returns the count.
+func (n *Network) RunUntil(deadline Time) int {
+	count := 0
+	for n.events.Len() > 0 && n.events[0].at <= deadline {
+		n.Step()
+		count++
+	}
+	if n.now < deadline {
+		n.now = deadline
+	}
+	return count
+}
+
+// Pending reports the number of queued events.
+func (n *Network) Pending() int { return n.events.Len() }
+
+// Totals returns total messages, bytes, and drops since creation.
+func (n *Network) Totals() (msgs, bytes, drops int) {
+	return n.totalMsgs, n.totalBytes, n.totalDrops
+}
+
+// KindTotals returns traffic per message kind (copy).
+func (n *Network) KindTotals() map[string]KindStats {
+	out := make(map[string]KindStats, len(n.kinds))
+	for k, v := range n.kinds {
+		out[k] = *v
+	}
+	return out
+}
+
+// NodeTraffic returns the sent/received stats of a node.
+func (n *Network) NodeTraffic(name string) (sent, recv LinkStats, ok bool) {
+	nd, found := n.nodes[name]
+	if !found {
+		return LinkStats{}, LinkStats{}, false
+	}
+	return nd.sent, nd.recv, true
+}
+
+// ResetTraffic zeroes all traffic counters (links, nodes, kinds,
+// totals), used to isolate per-experiment measurements.
+func (n *Network) ResetTraffic() {
+	n.totalMsgs, n.totalBytes, n.totalDrops = 0, 0, 0
+	n.kinds = map[string]*KindStats{}
+	for _, l := range n.links {
+		l.Stats = LinkStats{}
+	}
+	for _, nd := range n.nodes {
+		nd.sent = LinkStats{}
+		nd.recv = LinkStats{}
+	}
+}

@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/provquery"
+	"repro/internal/rel"
+)
+
+// ProofDOT renders a proof tree as a Graphviz DOT graph: tuple vertices
+// as boxes (base tuples shaded), rule executions as ellipses, clustered
+// by node — a faithful export of ExSPAN's provenance graph for external
+// visualization tools.
+func ProofDOT(root *provquery.ProofNode) string {
+	g := &dotBuilder{
+		nodesByLoc: map[string][]string{},
+		seenTuple:  map[rel.ID]bool{},
+		seenExec:   map[rel.ID]bool{},
+	}
+	g.walk(root)
+	var b strings.Builder
+	b.WriteString("digraph provenance {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [fontsize=10];\n")
+	locs := make([]string, 0, len(g.nodesByLoc))
+	for loc := range g.nodesByLoc {
+		locs = append(locs, loc)
+	}
+	sort.Strings(locs)
+	for i, loc := range locs {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, loc)
+		for _, line := range g.nodesByLoc[loc] {
+			b.WriteString("    " + line + "\n")
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range g.edges {
+		b.WriteString("  " + e + "\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+type dotBuilder struct {
+	nodesByLoc map[string][]string
+	edges      []string
+	seenTuple  map[rel.ID]bool
+	seenExec   map[rel.ID]bool
+}
+
+func tupleID(vid rel.ID) string { return "t_" + vid.Short() }
+func execID(rid rel.ID) string  { return "r_" + rid.Short() }
+
+func (g *dotBuilder) walk(p *provquery.ProofNode) {
+	if p == nil {
+		return
+	}
+	if !g.seenTuple[p.VID] {
+		g.seenTuple[p.VID] = true
+		label := p.Tuple.String()
+		if p.Tuple.Rel == "" {
+			label = "unresolved " + p.VID.Short()
+		}
+		attrs := fmt.Sprintf("label=%q, shape=box", label)
+		switch {
+		case p.Base:
+			attrs += ", style=filled, fillcolor=lightgray"
+		case p.Cycle:
+			attrs += ", style=dashed"
+		case p.Pruned:
+			attrs += ", style=dotted"
+		}
+		g.nodesByLoc[p.Loc] = append(g.nodesByLoc[p.Loc],
+			fmt.Sprintf("%s [%s];", tupleID(p.VID), attrs))
+	}
+	for _, d := range p.Derivs {
+		if !g.seenExec[d.RID] {
+			g.seenExec[d.RID] = true
+			g.nodesByLoc[d.RLoc] = append(g.nodesByLoc[d.RLoc],
+				fmt.Sprintf("%s [label=%q, shape=ellipse];", execID(d.RID), d.Rule))
+		}
+		g.edges = append(g.edges,
+			fmt.Sprintf("%s -> %s;", execID(d.RID), tupleID(p.VID)))
+		for _, c := range d.Children {
+			g.edges = append(g.edges,
+				fmt.Sprintf("%s -> %s;", tupleID(c.VID), execID(d.RID)))
+			g.walk(c)
+		}
+	}
+}

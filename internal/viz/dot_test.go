@@ -1,0 +1,80 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProofDOTStructure(t *testing.T) {
+	_, res := buildQueried(t)
+	dot := ProofDOT(res.Root)
+	for _, want := range []string{
+		"digraph provenance {",
+		"rankdir=BT;",
+		`label="n1"`, // cluster per node
+		`label="n2"`,
+		"shape=box",           // tuple vertices
+		"shape=ellipse",       // rule-execution vertices
+		"fillcolor=lightgray", // base tuples shaded
+		"->",
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Every edge endpoint is a declared node.
+	declared := map[string]bool{}
+	for _, line := range strings.Split(dot, "\n") {
+		s := strings.TrimSpace(line)
+		if strings.HasPrefix(s, "t_") || strings.HasPrefix(s, "r_") {
+			if i := strings.IndexAny(s, " ["); i > 0 && !strings.Contains(s[:i], "->") {
+				declared[s[:i]] = true
+			}
+		}
+	}
+	for _, line := range strings.Split(dot, "\n") {
+		s := strings.TrimSpace(line)
+		if !strings.Contains(s, "->") {
+			continue
+		}
+		parts := strings.Split(strings.TrimSuffix(s, ";"), "->")
+		if len(parts) != 2 {
+			t.Fatalf("bad edge line %q", s)
+		}
+		from := strings.TrimSpace(parts[0])
+		to := strings.TrimSpace(parts[1])
+		if !declared[from] || !declared[to] {
+			t.Fatalf("edge references undeclared node: %q (declared: %v)", s, declared)
+		}
+	}
+}
+
+func TestProofDOTDeterministic(t *testing.T) {
+	_, res := buildQueried(t)
+	if ProofDOT(res.Root) != ProofDOT(res.Root) {
+		t.Fatal("DOT export not deterministic")
+	}
+}
+
+func TestProofDOTSharedSubtreesDeduplicated(t *testing.T) {
+	_, res := buildQueried(t)
+	dot := ProofDOT(res.Root)
+	// Each tuple vertex is declared exactly once.
+	seen := map[string]int{}
+	for _, line := range strings.Split(dot, "\n") {
+		s := strings.TrimSpace(line)
+		if strings.HasPrefix(s, "t_") && strings.Contains(s, "shape=box") {
+			id := s[:strings.Index(s, " ")]
+			seen[id]++
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("tuple vertex %s declared %d times", id, n)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no tuple vertices found")
+	}
+}

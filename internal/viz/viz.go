@@ -1,0 +1,177 @@
+// Package viz renders NetTrails state as deterministic text: the
+// network topology (RapidNet visualizer role) and provenance proof
+// trees (hypertree visualizer role). The paper's Figure 2 exploration
+// sequence — system-wide view, per-table view, tuple close-up — maps to
+// TopologyView, TablesView, and TupleCard; ProofTree renders the
+// provenance graph with a focus depth, the text analogue of the
+// hyperbolic focus+context display.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logstore"
+	"repro/internal/provquery"
+	"repro/internal/rel"
+	"repro/internal/simnet"
+)
+
+// TopologyView renders nodes, links, and per-link traffic.
+func TopologyView(net *simnet.Network) string {
+	var b strings.Builder
+	b.WriteString("topology\n")
+	for _, n := range net.Nodes() {
+		sent, recv, _ := net.NodeTraffic(n)
+		fmt.Fprintf(&b, "  %s  (sent %d msg / %d B, recv %d msg / %d B)\n",
+			n, sent.Messages, sent.Bytes, recv.Messages, recv.Bytes)
+	}
+	b.WriteString("links\n")
+	for _, l := range net.Links() {
+		state := "up"
+		if !l.Up {
+			state = "DOWN"
+		}
+		fmt.Fprintf(&b, "  %s -- %s  [%s, %dus, %d msg, %d B]\n",
+			l.A, l.B, state, int64(l.Latency), l.Stats.Messages, l.Stats.Bytes)
+	}
+	return b.String()
+}
+
+// TablesView renders a snapshot's tables (the Figure 2(b) table list).
+func TablesView(sn logstore.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %s @ t=%dus\n", sn.Node, int64(sn.Time))
+	var rels []string
+	for r := range sn.Tables {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	for _, r := range rels {
+		fmt.Fprintf(&b, "  table %s (%d tuples)\n", r, len(sn.Tables[r]))
+		for _, t := range sn.Tables[r] {
+			fmt.Fprintf(&b, "    %s\n", t)
+		}
+	}
+	fmt.Fprintf(&b, "  provenance: %d prov entries, %d rule executions\n", sn.ProvEntries, sn.ExecEntries)
+	return b.String()
+}
+
+// TupleCard renders one tuple's close-up (the Figure 2(c) black
+// rectangle): relation, attribute values, and location.
+func TupleCard(t rel.Tuple, loc string) string {
+	lines := []string{
+		fmt.Sprintf("tuple    %s", t.Rel),
+		fmt.Sprintf("location %s", loc),
+	}
+	for i, v := range t.Vals {
+		lines = append(lines, fmt.Sprintf("arg[%d]   %s", i, v))
+	}
+	lines = append(lines, fmt.Sprintf("vid      %s", t.VID().Short()))
+	w := 0
+	for _, l := range lines {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", w+2) + "+\n")
+	for _, l := range lines {
+		fmt.Fprintf(&b, "| %-*s |\n", w, l)
+	}
+	b.WriteString("+" + strings.Repeat("-", w+2) + "+\n")
+	return b.String()
+}
+
+// ProofTreeOptions controls proof rendering.
+type ProofTreeOptions struct {
+	// MaxDepth limits rendered tuple levels (0 = unlimited). Beyond the
+	// limit an ellipsis marks elided structure — the text analogue of
+	// the hypertree's focus+context view.
+	MaxDepth int
+	// ShowVIDs includes vertex ids.
+	ShowVIDs bool
+}
+
+// ProofTree renders a provenance proof tree.
+func ProofTree(root *provquery.ProofNode, opts ProofTreeOptions) string {
+	var b strings.Builder
+	renderNode(&b, root, "", true, 1, opts)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, p *provquery.ProofNode, prefix string, last bool, depth int, opts ProofTreeOptions) {
+	connector := "+-"
+	childPrefix := prefix + "| "
+	if last {
+		childPrefix = prefix + "  "
+	}
+	if prefix == "" {
+		connector = ""
+		childPrefix = "  "
+	}
+	label := p.Tuple.String()
+	if p.Tuple.Rel == "" {
+		label = "<unresolved " + p.VID.Short() + ">"
+	}
+	var marks []string
+	if p.Base {
+		marks = append(marks, "base")
+	}
+	if p.Cycle {
+		marks = append(marks, "cycle")
+	}
+	if p.Pruned {
+		marks = append(marks, "pruned")
+	}
+	mark := ""
+	if len(marks) > 0 {
+		mark = " [" + strings.Join(marks, ",") + "]"
+	}
+	vid := ""
+	if opts.ShowVIDs {
+		vid = " #" + p.VID.Short()
+	}
+	fmt.Fprintf(b, "%s%s%s @%s%s%s\n", prefix, connector, label, p.Loc, mark, vid)
+	if opts.MaxDepth > 0 && depth >= opts.MaxDepth && len(p.Derivs) > 0 {
+		fmt.Fprintf(b, "%s+- ...\n", childPrefix)
+		return
+	}
+	for di, d := range p.Derivs {
+		lastDeriv := di == len(p.Derivs)-1
+		dConnector := "+-"
+		dChildPrefix := childPrefix + "| "
+		if lastDeriv {
+			dChildPrefix = childPrefix + "  "
+		}
+		rid := ""
+		if opts.ShowVIDs {
+			rid = " #" + d.RID.Short()
+		}
+		fmt.Fprintf(b, "%s%svia rule %s @%s%s\n", childPrefix, dConnector, d.Rule, d.RLoc, rid)
+		for ci, c := range d.Children {
+			renderNode(b, c, dChildPrefix, ci == len(d.Children)-1, depth+1, opts)
+		}
+	}
+}
+
+// SnapshotSummary one-lines every node at a time (replay ticker view).
+func SnapshotSummary(t simnet.Time, view map[string]logstore.Snapshot) string {
+	var nodes []string
+	for n := range view {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%-10d", int64(t))
+	for _, n := range nodes {
+		sn := view[n]
+		total := 0
+		for _, ts := range sn.Tables {
+			total += len(ts)
+		}
+		fmt.Fprintf(&b, " %s:%dt/%dp", n, total, sn.ProvEntries)
+	}
+	return b.String()
+}

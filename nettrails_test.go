@@ -1,0 +1,279 @@
+package nettrails_test
+
+import (
+	"strings"
+	"testing"
+
+	nettrails "repro"
+	"repro/internal/provenance"
+	"repro/internal/routeviews"
+)
+
+// TestArchitectureEndToEnd is experiment E1 (the paper's Figure 1): all
+// components wired together — NDlog program, distributed execution,
+// provenance maintenance, log store, distributed query, visualization.
+func TestArchitectureEndToEnd(t *testing.T) {
+	sys, err := nettrails.NewSystem(nettrails.MinCost, nettrails.NodeNames(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLink("n1", "n2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLink("n2", "n3", 1); err != nil {
+		t.Fatal(err)
+	}
+	mc := nettrails.Tuple("mincost", nettrails.Addr("n1"), nettrails.Addr("n3"), nettrails.Int(2))
+	ts, err := sys.Tuples("n1", "mincost")
+	if err != nil || len(ts) != 2 {
+		t.Fatalf("mincost = %v (%v)", ts, err)
+	}
+	// Query every type.
+	lin, err := sys.Lineage("n1", mc)
+	if err != nil || lin.Root.Size() < 4 {
+		t.Fatalf("lineage = %+v (%v)", lin, err)
+	}
+	bases, err := sys.BaseTuples("n1", mc)
+	if err != nil || len(bases.Bases) == 0 {
+		t.Fatalf("bases = %+v (%v)", bases, err)
+	}
+	nodes, err := sys.ParticipatingNodes("n1", mc)
+	if err != nil || len(nodes.Nodes) == 0 {
+		t.Fatalf("nodes = %+v (%v)", nodes, err)
+	}
+	cnt, err := sys.DerivationCount("n1", mc)
+	if err != nil || cnt.Count != 1 {
+		t.Fatalf("count = %+v (%v)", cnt, err)
+	}
+	// Log store + viz.
+	if err := sys.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Log.Len() != 3 {
+		t.Fatalf("snapshots = %d", sys.Log.Len())
+	}
+	proof := nettrails.RenderProof(lin.Root)
+	if !strings.Contains(proof, "mincost(@n1, n3, 2)") {
+		t.Fatalf("proof render:\n%s", proof)
+	}
+	topo := sys.RenderTopology()
+	if !strings.Contains(topo, "n1 -- n2") {
+		t.Fatalf("topology render:\n%s", topo)
+	}
+	card := nettrails.RenderTupleCard(mc, "n1")
+	if !strings.Contains(card, "location n1") {
+		t.Fatalf("card render:\n%s", card)
+	}
+	focused := nettrails.RenderProofFocused(lin.Root, 1)
+	if !strings.Contains(focused, "...") {
+		t.Fatalf("focused render:\n%s", focused)
+	}
+}
+
+func TestRemoveLinkFacade(t *testing.T) {
+	sys, err := nettrails.NewSystem(nettrails.MinCost, nettrails.NodeNames(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddLink("n1", "n2", 1)
+	if err := sys.RemoveLink("n1", "n2", 1); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := sys.Tuples("n1", "mincost")
+	if err != nil || len(ts) != 0 {
+		t.Fatalf("mincost after removal = %v (%v)", ts, err)
+	}
+	if _, err := sys.Tuples("zz", "mincost"); err == nil {
+		t.Fatal("unknown node must error")
+	}
+}
+
+func TestCompileReport(t *testing.T) {
+	src, loc, aug, err := nettrails.CompileReport(nettrails.MinCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "mc2 cost") {
+		t.Fatalf("source:\n%s", src)
+	}
+	if !strings.Contains(loc, "mc2_loc1") || !strings.Contains(loc, "mc2_loc2") {
+		t.Fatalf("localized missing split rules:\n%s", loc)
+	}
+	if !strings.Contains(aug, "ruleExec") || !strings.Contains(aug, "f_mkvid") {
+		t.Fatalf("provenance rewrite:\n%s", aug)
+	}
+	if _, _, _, err := nettrails.CompileReport("bad ("); err == nil {
+		t.Fatal("bad program must error")
+	}
+}
+
+func TestProgramFactsLoadedBySystem(t *testing.T) {
+	prog := nettrails.MinCost + `
+f1 link(@'n1','n2',2).
+f2 link(@'n2','n1',2).
+`
+	sys, err := nettrails.NewSystem(prog, nettrails.NodeNames(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := sys.Tuples("n1", "mincost")
+	if err != nil || len(ts) != 1 {
+		t.Fatalf("mincost = %v (%v)", ts, err)
+	}
+}
+
+func TestQueryTextFacade(t *testing.T) {
+	sys, err := nettrails.NewSystem(nettrails.MinCost, nettrails.NodeNames(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddLink("n1", "n2", 1)
+	sys.AddLink("n2", "n3", 1)
+	res, err := sys.QueryText("bases of mincost(@'n1','n3',2) with cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bases) != 2 {
+		t.Fatalf("bases = %v", res.Bases)
+	}
+	if _, err := sys.QueryText("gibberish"); err == nil {
+		t.Fatal("bad query must error")
+	}
+}
+
+func TestAuditAndCommitmentsFacade(t *testing.T) {
+	sys, err := nettrails.NewSystem(nettrails.MinCost, nettrails.NodeNames(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddLink("n1", "n2", 1)
+	sys.AddLink("n2", "n3", 1)
+	if findings := sys.AuditProvenance(); len(findings) != 0 {
+		t.Fatalf("audit findings on healthy system: %v", findings)
+	}
+	commits := sys.CommitProvenance()
+	if len(commits) != 3 {
+		t.Fatalf("commitments = %d", len(commits))
+	}
+	for addr, c := range commits {
+		n, _ := sys.Engine.Node(addr)
+		if err := provenance.VerifyCommitment(n.Prov, c); err != nil {
+			t.Fatalf("%s: %v", addr, err)
+		}
+	}
+	// Churn keeps the audit clean.
+	sys.RemoveLink("n1", "n2", 1)
+	sys.AddLink("n1", "n2", 2)
+	if findings := sys.AuditProvenance(); len(findings) != 0 {
+		t.Fatalf("audit findings after churn: %v", findings)
+	}
+}
+
+func TestDeletionSafetyFacade(t *testing.T) {
+	for _, prog := range []string{nettrails.MinCost, nettrails.PathVector, nettrails.DSR, nettrails.DistanceVector} {
+		w, err := nettrails.DeletionSafety(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w) != 0 {
+			t.Fatalf("demo protocol flagged: %v", w)
+		}
+	}
+	w, err := nettrails.DeletionSafety(`
+r1 reach(@N,X,Y) :- edge(@N,X,Y).
+r2 reach(@N,X,Z) :- edge(@N,X,Y), reach(@N,Y,Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 1 {
+		t.Fatalf("warnings = %v", w)
+	}
+	if _, err := nettrails.DeletionSafety("("); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+}
+
+func TestParseTupleFacade(t *testing.T) {
+	tp, err := nettrails.ParseTuple(`mincost(@'n1','n3',2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.String() != "mincost(@n1, n3, 2)" {
+		t.Fatalf("tuple = %s", tp)
+	}
+	for _, bad := range []string{"", "x(", "x(X)", "a(1). b(2)."} {
+		if _, err := nettrails.ParseTuple(bad); err == nil {
+			t.Errorf("ParseTuple(%q) should fail", bad)
+		}
+	}
+}
+
+func TestBGPDeploymentFacade(t *testing.T) {
+	d, err := nettrails.NewBGPDeployment(
+		[]string{"AS1", "AS2", "AS3"},
+		[]nettrails.ASLink{
+			{A: "AS2", B: "AS1", Rel: nettrails.CustomerOf},
+			{A: "AS3", B: "AS2", Rel: nettrails.CustomerOf},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Originate("AS1", "10.0.0.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.RouteLineage("AS2", "10.0.0.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof := nettrails.RenderProof(res.Root)
+	for _, want := range []string{"routeEntry(@AS2", "via rule br1", "via rule proxy_transmit", "[base]"} {
+		if !strings.Contains(proof, want) {
+			t.Fatalf("BGP proof missing %q:\n%s", want, proof)
+		}
+	}
+}
+
+func TestBGPTraceReplay(t *testing.T) {
+	d, err := nettrails.NewBGPDeployment(
+		[]string{"AS1", "AS2", "AS3"},
+		[]nettrails.ASLink{
+			{A: "AS2", B: "AS1", Rel: nettrails.CustomerOf},
+			{A: "AS3", B: "AS2", Rel: nettrails.CustomerOf},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := d.GenerateTrace(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := routeviews.Validate(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReplayTrace(events); err != nil {
+		t.Fatal(err)
+	}
+	// Provenance invariants hold everywhere after the replay.
+	for _, as := range d.Eng.Nodes() {
+		n, _ := d.Eng.Node(as)
+		if err := n.Prov.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", as, err)
+		}
+	}
+	// The live prefixes at the end are exactly those the trace leaves
+	// announced.
+	live := map[string]string{}
+	for _, ev := range events {
+		if ev.Type == routeviews.Announce {
+			live[ev.Prefix] = ev.Origin
+		} else {
+			delete(live, ev.Prefix)
+		}
+	}
+	for prefix, origin := range live {
+		if p, ok := d.Speakers[origin].BestPath(prefix); !ok || len(p) != 1 {
+			t.Fatalf("origin %s lost its own prefix %s (%v %v)", origin, prefix, p, ok)
+		}
+	}
+}
