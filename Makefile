@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all vet build test race bench ci clean
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench sweeps the parallel epoch scheduler benchmarks (serial vs
+# worker-pool convergence on path-vector, mincost, and BGP workloads)
+# and records the results as BENCH_parallel.json so the performance
+# trajectory is tracked over time.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 3x . | tee bench_parallel.out
+	$(GO) run ./tools/benchjson < bench_parallel.out > BENCH_parallel.json
+	@rm -f bench_parallel.out
+
+ci: vet build race bench
+
+clean:
+	rm -f bench_parallel.out BENCH_parallel.json

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles the command under test into a temp dir and
+// returns the executable path.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ndlogc")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmokeCompileBuiltin runs the compiler front-end on the protocol
+// the quickstart example executes and checks all three pipeline stages
+// appear.
+func TestSmokeCompileBuiltin(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-protocol", "mincost").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ndlogc -protocol mincost: %v\n%s", err, out)
+	}
+	text := string(out)
+	if len(text) == 0 {
+		t.Fatal("empty output")
+	}
+	for _, section := range []string{"=== source ===", "=== localized ===", "=== provenance rewrite ==="} {
+		if !strings.Contains(text, section) {
+			t.Errorf("output missing %q:\n%s", section, text)
+		}
+	}
+}
+
+// TestSmokeCompileFile feeds a program file (the quickstart protocol
+// written to disk) through the file-argument path.
+func TestSmokeCompileFile(t *testing.T) {
+	bin := buildBinary(t)
+	src := `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(cost, infinity, infinity, keys(1,2,3)).
+mc1 cost(@S,D,C) :- link(@S,D,C).
+`
+	file := filepath.Join(t.TempDir(), "prog.ndlog")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-stage", "localized", file).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ndlogc %s: %v\n%s", file, err, out)
+	}
+	if !strings.Contains(string(out), "mc1") {
+		t.Errorf("localized output missing rule:\n%s", out)
+	}
+}
+
+// TestSmokeBadUsageExits verifies the compiler fails fast with a
+// non-zero exit on unknown input instead of emitting garbage.
+func TestSmokeBadUsageExits(t *testing.T) {
+	bin := buildBinary(t)
+	err := exec.Command(bin, "-protocol", "nosuch").Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("expected non-zero exit, got %v", err)
+	}
+}

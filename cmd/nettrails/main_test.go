@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "nettrails")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmokeQuickstartLineage mirrors examples/quickstart on the CLI:
+// MINCOST on a 3-node line, then the lineage of the derived n1→n3
+// tuple.
+func TestSmokeQuickstartLineage(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin,
+		"-protocol", "mincost", "-topology", "line", "-nodes", "3",
+		"-query", "lineage", "-tuple", "mincost(@'n1','n3',2)").CombinedOutput()
+	if err != nil {
+		t.Fatalf("nettrails: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"converged: 3 nodes", "mincost(@n1, n3, 2)", "query cost:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSmokeParallelismFlagMatchesSerial runs the same scenario with
+// -parallelism 1 and -parallelism 8 and requires identical protocol
+// state (the CLI face of the determinism guarantee). Only the traffic
+// line may differ: the parallel scheduler coalesces per-link delta
+// batches, so it sends fewer (but byte-equivalent) messages.
+func TestSmokeParallelismFlagMatchesSerial(t *testing.T) {
+	bin := buildBinary(t)
+	run := func(par string) (tables, traffic string) {
+		out, err := exec.Command(bin,
+			"-protocol", "pathvector", "-topology", "ring", "-nodes", "8",
+			"-parallelism", par, "-tables", "n1").CombinedOutput()
+		if err != nil {
+			t.Fatalf("nettrails -parallelism %s: %v\n%s", par, err, out)
+		}
+		var rest []string
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.HasPrefix(line, "execution traffic:") {
+				traffic = line
+				continue
+			}
+			rest = append(rest, line)
+		}
+		return strings.Join(rest, "\n"), traffic
+	}
+	serial, serialTraffic := run("1")
+	parallel, parallelTraffic := run("8")
+	if serial != parallel {
+		t.Errorf("state diverged between -parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "table bestpath") {
+		t.Errorf("tables output missing bestpath:\n%s", serial)
+	}
+	if serialTraffic == "" || parallelTraffic == "" {
+		t.Fatalf("traffic lines missing: %q, %q", serialTraffic, parallelTraffic)
+	}
+}
+
+// TestSmokeTextQuery exercises the -q textual query path.
+func TestSmokeTextQuery(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin,
+		"-protocol", "mincost", "-topology", "line", "-nodes", "3",
+		"-q", "bases of mincost(@'n1','n3',2)").CombinedOutput()
+	if err != nil {
+		t.Fatalf("nettrails -q: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "link(@") {
+		t.Errorf("bases output missing link tuples:\n%s", out)
+	}
+}

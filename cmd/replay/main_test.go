@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "replay")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmokeMincostReplay runs the Figure 2 walkthrough end to end and
+// checks the captured instants are listed.
+func TestSmokeMincostReplay(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-demo", "mincost").CombinedOutput()
+	if err != nil {
+		t.Fatalf("replay -demo mincost: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "captured") || !strings.Contains(text, "final topology:") {
+		t.Errorf("unexpected replay output:\n%s", text)
+	}
+}
+
+// TestSmokeMincostInspectInstant drills into one captured instant,
+// exercising the tables view and tuple card.
+func TestSmokeMincostInspectInstant(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-demo", "mincost", "-at", "3", "-node", "n1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("replay -at 3: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "mincost") {
+		t.Errorf("inspection output missing tables:\n%s", out)
+	}
+}
+
+// TestSmokeBGPReplay runs the legacy-application demo.
+func TestSmokeBGPReplay(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-demo", "bgp").CombinedOutput()
+	if err != nil {
+		t.Fatalf("replay -demo bgp: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "replayed 80 trace events") {
+		t.Errorf("unexpected BGP replay output:\n%s", out)
+	}
+}

@@ -13,6 +13,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/ndlog"
@@ -36,17 +37,34 @@ type DeltaMsg struct {
 	HasProv bool
 }
 
+// DeltaBatch is the payload of a coalesced delta message: every delta
+// one epoch emitted over a single src→dst link, merged by the parallel
+// scheduler into one wire message (the batch rides under KindDelta).
+// Receivers apply the entries in emission order.
+type DeltaBatch struct {
+	Msgs []DeltaMsg
+}
+
 // Options configures an Engine.
 type Options struct {
 	Seed        int64
 	LinkLatency simnet.Time
 	// Provenance enables ExSPAN maintenance (on by default via New).
 	Provenance bool
+	// Parallelism is the number of worker goroutines RunQuiescent uses
+	// to deliver each virtual-time epoch of tuple deltas. A worker
+	// drives one destination node at a time, preserving the per-node
+	// serialization contract of eval.Runtime; sends emitted during a
+	// parallel epoch are merged back into the event queue in
+	// deterministic schedule order, so a fixed seed converges to the
+	// same per-node state for every parallelism level. Values <= 1 run
+	// the classic serial discrete-event loop.
+	Parallelism int
 }
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options {
-	return Options{Seed: 1, LinkLatency: simnet.Millisecond, Provenance: true}
+	return Options{Seed: 1, LinkLatency: simnet.Millisecond, Provenance: true, Parallelism: 1}
 }
 
 // Node is one simulated NetTrails node: an NDlog runtime plus a
@@ -61,6 +79,10 @@ type Node struct {
 	// detected); softLive marks tuples currently base-inserted.
 	softGen  map[rel.ID]uint64
 	softLive map[rel.ID]bool
+	// cap, when non-nil, redirects this node's outbound sends into the
+	// worker-local buffer of the parallel epoch scheduler. It is only
+	// set by the single worker driving this node during an epoch.
+	cap *sendCapture
 }
 
 // Engine couples the per-node runtimes to the simulated network.
@@ -78,6 +100,16 @@ type Engine struct {
 	// OnEvalError observes runtime evaluation errors (default: panic,
 	// because silent evaluation errors make experiments lie).
 	OnEvalError func(addr string, err error)
+	// errMu serializes OnEvalError calls: evaluation errors can surface
+	// concurrently from the epoch scheduler's workers.
+	errMu sync.Mutex
+	// draining marks an active epoch-scheduler drain. Re-entrant
+	// RunQuiescent calls (a service handler inserting facts) return
+	// immediately: the outer drain still runs to quiescence, and
+	// deferring the new events keeps the epoch schedule identical to
+	// the serial loop's, which would also finish the current instant's
+	// events before the new ones.
+	draining bool
 }
 
 // New compiles src (NDlog text) and builds an engine with the given
@@ -140,6 +172,8 @@ func (e *Engine) addNode(addr string) error {
 		n.Prov = provenance.NewStore(addr)
 	}
 	rt.ErrFn = func(err error) {
+		e.errMu.Lock()
+		defer e.errMu.Unlock()
 		if e.OnEvalError != nil {
 			e.OnEvalError(addr, err)
 			return
@@ -170,7 +204,7 @@ func (e *Engine) addNode(addr string) error {
 				msg.HasProv = true
 			}
 		}
-		e.Net.Send(simnet.Message{
+		n.netSend(simnet.Message{
 			From:     addr,
 			To:       dst,
 			Kind:     KindDelta,
@@ -193,14 +227,20 @@ func wireSize(t rel.Tuple) int { return len(rel.MarshalTuple(t)) + 48 }
 
 func (e *Engine) dispatch(n *Node, m simnet.Message) {
 	if m.Kind == KindDelta {
-		dm, ok := m.Payload.(DeltaMsg)
-		if !ok {
+		switch dm := m.Payload.(type) {
+		case DeltaMsg:
+			e.applyRemoteProv(n, dm)
+			n.RT.ReceiveRemote(dm.Delta)
+		case DeltaBatch:
+			ds := make([]eval.Delta, len(dm.Msgs))
+			for i, one := range dm.Msgs {
+				e.applyRemoteProv(n, one)
+				ds[i] = one.Delta
+			}
+			n.RT.ReceiveRemoteBatch(ds)
+		default:
 			panic(fmt.Sprintf("engine: bad delta payload %T", m.Payload))
 		}
-		if n.Prov != nil && dm.HasProv {
-			n.Prov.ApplyRemote(dm.Delta.Tuple, dm.Prov, dm.Delta.Sign)
-		}
-		n.RT.ReceiveRemote(dm.Delta)
 		return
 	}
 	if h, ok := e.services[m.Kind]; ok {
@@ -208,6 +248,14 @@ func (e *Engine) dispatch(n *Node, m simnet.Message) {
 		return
 	}
 	panic(fmt.Sprintf("engine: node %s: no service for message kind %q", n.Addr, m.Kind))
+}
+
+// applyRemoteProv mirrors an incoming delta's provenance annotation
+// into the destination's partition before evaluation sees the delta.
+func (e *Engine) applyRemoteProv(n *Node, dm DeltaMsg) {
+	if n.Prov != nil && dm.HasProv {
+		n.Prov.ApplyRemote(dm.Delta.Tuple, dm.Prov, dm.Delta.Sign)
+	}
 }
 
 // RegisterService routes messages of the given kind (e.g. provenance
@@ -307,8 +355,21 @@ func (e *Engine) LoadProgramFacts() error {
 	return nil
 }
 
-// RunQuiescent drains all pending network events.
-func (e *Engine) RunQuiescent() { e.Net.Run(0) }
+// RunQuiescent drains all pending network events. With
+// Options.Parallelism > 1 it runs the epoch scheduler, delivering each
+// virtual instant's tuple deltas concurrently across destination
+// nodes; otherwise it runs the classic serial discrete-event loop.
+// Both schedules converge to the same state for the same seed.
+func (e *Engine) RunQuiescent() {
+	if e.opts.Parallelism > 1 {
+		if e.draining {
+			return // re-entrant: the active drain reaches quiescence
+		}
+		e.runEpochs(e.opts.Parallelism)
+		return
+	}
+	e.Net.Run(0)
+}
 
 // InsertFact inserts a base tuple at this node, mirroring NDlog
 // key-replacement into the provenance store. Soft-state relations

@@ -36,6 +36,14 @@ type Stats struct {
 // Runtime evaluates a compiled program at one node. It is single-
 // threaded by design: the engine serializes message delivery per node,
 // matching the discrete-event execution model of RapidNet/ns-3.
+//
+// Confinement contract: all of a Runtime's state (store, delta queue,
+// aggregate states, stats) is owned by whichever goroutine is driving
+// the node. The engine's parallel epoch scheduler relies on this — it
+// assigns each destination node to exactly one worker per epoch, so
+// Runtimes never need locks. The Compiled program and FuncRegistry a
+// Runtime reads are shared across nodes and must stay immutable while
+// any runtime is executing.
 type Runtime struct {
 	Addr  string
 	Store *Store
@@ -149,6 +157,18 @@ func (rt *Runtime) DeleteBase(t rel.Tuple) error {
 // to fixpoint.
 func (rt *Runtime) ReceiveRemote(d Delta) {
 	rt.queue = append(rt.queue, d)
+	rt.Flush()
+}
+
+// ReceiveRemoteBatch applies a batch of deltas that arrived from other
+// nodes as one unit: every delta is enqueued before the queue drains,
+// so a k-delta batch runs one fixpoint instead of k. Counting-based
+// maintenance makes the final state insensitive to the processing
+// order, so batching only skips the intermediate fixpoints. The
+// engine's epoch scheduler feeds coalesced per-link delta batches
+// through this path.
+func (rt *Runtime) ReceiveRemoteBatch(ds []Delta) {
+	rt.queue = append(rt.queue, ds...)
 	rt.Flush()
 }
 

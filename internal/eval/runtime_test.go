@@ -268,6 +268,41 @@ r1 echo(@S,D) :- back(@S,D).
 	}
 }
 
+func TestReceiveRemoteBatch(t *testing.T) {
+	src := `
+materialize(back, infinity, infinity, keys(1,2)).
+materialize(echo, infinity, infinity, keys(1,2)).
+r1 echo(@S,D) :- back(@S,D).
+`
+	mk := func(d string, sign int) Delta {
+		return Delta{Tuple: rel.NewTuple("back", rel.Addr("b"), rel.Addr(d)), Sign: sign}
+	}
+	// One batched fixpoint must land in the same state as the deltas
+	// applied one by one, including a +/- pair that nets to zero.
+	batched := newRT(t, "b", src)
+	batch := []Delta{mk("a", 1), mk("c", 1), mk("c", -1), mk("d", 1)}
+	batched.ReceiveRemoteBatch(batch)
+
+	serial := newRT(t, "b", src)
+	for _, d := range batch {
+		serial.ReceiveRemote(d)
+	}
+
+	got := mustTuples(t, batched, "echo")
+	want := mustTuples(t, serial, "echo")
+	if len(got) != 2 || len(got) != len(want) {
+		t.Fatalf("echo: batched %v, serial %v", got, want)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("echo diverged at %d: batched %v, serial %v", i, got, want)
+		}
+	}
+	if q := batched.Statistics().DeltasProcessed; q < len(batch) {
+		t.Fatalf("DeltasProcessed = %d, want >= %d", q, len(batch))
+	}
+}
+
 func TestEventTriggersRuleButIsNotStored(t *testing.T) {
 	src := `
 materialize(log, infinity, infinity, keys(1,2)).

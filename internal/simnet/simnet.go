@@ -74,7 +74,12 @@ func keyFor(a, b string) linkKey {
 type event struct {
 	at  Time
 	seq uint64
+	// Exactly one of fn/msg is set: fn for timers and callbacks, msg
+	// for message deliveries. Keeping deliveries first-class (instead
+	// of closing over them) lets NextEpoch hand them to an external
+	// scheduler that fans one virtual instant out over many workers.
 	fn  func()
+	msg *Message
 }
 
 type eventHeap []*event
@@ -329,13 +334,24 @@ func (n *Network) Send(m Message) {
 	}
 	n.account(m, link)
 	msg := m
-	n.schedule(latency, func() {
-		if nd, ok := n.nodes[msg.To]; ok && nd.handler != nil {
-			nd.recv.Messages++
-			nd.recv.Bytes += msg.Size
-			nd.handler(msg)
-		}
-	})
+	n.seq++
+	heap.Push(&n.events, &event{at: n.now + latency, seq: n.seq, msg: &msg})
+}
+
+// Deliver invokes the destination handler of a message delivery event,
+// updating the destination's receive counters. It is used by Step and
+// by external epoch schedulers replaying events drained with
+// NextEpoch. Deliver only touches state owned by the destination node,
+// so concurrent calls are safe as long as every in-flight call targets
+// a distinct destination and nothing else mutates the network.
+func (n *Network) Deliver(m *Message) {
+	nd, ok := n.nodes[m.To]
+	if !ok || nd.handler == nil {
+		return
+	}
+	nd.recv.Messages++
+	nd.recv.Bytes += m.Size
+	nd.handler(*m)
 }
 
 func (n *Network) account(m Message, l *Link) {
@@ -379,8 +395,54 @@ func (n *Network) Step() bool {
 	}
 	e := heap.Pop(&n.events).(*event)
 	n.now = e.at
-	e.fn()
+	if e.msg != nil {
+		n.Deliver(e.msg)
+	} else {
+		e.fn()
+	}
 	return true
+}
+
+// EpochEvent is one scheduled event drained by NextEpoch: either a
+// message delivery (Msg != nil) or a timer/callback (Fn != nil).
+type EpochEvent struct {
+	// Seq is the event's schedule sequence number; it totally orders
+	// the events of an epoch and lets schedulers that execute them out
+	// of order merge their effects back deterministically.
+	Seq uint64
+	Msg *Message
+	Fn  func()
+}
+
+// Epoch is the batch of all events sharing the earliest pending
+// virtual timestamp, in schedule (Seq) order.
+type Epoch struct {
+	At     Time
+	Events []EpochEvent
+}
+
+// NextEpoch pops every pending event that shares the earliest
+// timestamp, advances the clock to it, and returns the batch. ok is
+// false when the queue is empty.
+//
+// Executing the drained events is the caller's responsibility: run Fn
+// events inline and hand Msg events to Deliver. Executing them in Seq
+// order reproduces Step/Run exactly; executing deliveries concurrently
+// (one worker per destination, Seq order within each destination) is
+// the parallel schedule used by internal/engine. Events the caller
+// drops are lost.
+func (n *Network) NextEpoch() (Epoch, bool) {
+	if n.events.Len() == 0 {
+		return Epoch{}, false
+	}
+	at := n.events[0].at
+	ep := Epoch{At: at}
+	for n.events.Len() > 0 && n.events[0].at == at {
+		e := heap.Pop(&n.events).(*event)
+		ep.Events = append(ep.Events, EpochEvent{Seq: e.seq, Msg: e.msg, Fn: e.fn})
+	}
+	n.now = at
+	return ep, true
 }
 
 // Run drains the event queue up to maxEvents (0 = unlimited) and returns

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkParallelPathVector/p=4-8  \t5  54067539 ns/op  123.5 msgs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkParallelPathVector/p=4-8" || r.Iterations != 5 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 54067539 || r.Metrics["msgs/op"] != 123.5 {
+		t.Fatalf("metrics %+v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t0.9s",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"BenchmarkNoMetrics 5",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q should not parse", line)
+		}
+	}
+}
