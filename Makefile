@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench ci clean
+.PHONY: all vet build test race bench serve-smoke ci clean
 
 all: vet build test
 
@@ -16,16 +16,28 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench sweeps the parallel epoch scheduler benchmarks (serial vs
-# worker-pool convergence on path-vector, mincost, and BGP workloads)
-# and records the results as BENCH_parallel.json so the performance
-# trajectory is tracked over time.
+# bench sweeps the tracked benchmark suites and records the results as
+# JSON so the performance trajectory is archived over time:
+#   - BENCH_parallel.json: the parallel epoch scheduler (serial vs
+#     worker-pool convergence on path-vector, mincost, and BGP)
+#   - BENCH_serve.json: nettrailsd query serving (N concurrent HTTP
+#     clients against a live 8-AS BGP run under snapshot isolation)
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 3x . | tee bench_parallel.out
 	$(GO) run ./tools/benchjson < bench_parallel.out > BENCH_parallel.json
-	@rm -f bench_parallel.out
+	$(GO) test -run '^$$' -bench 'BenchmarkServeQueries' -benchtime 3x . | tee bench_serve.out
+	$(GO) run ./tools/benchjson < bench_serve.out > BENCH_serve.json
+	@rm -f bench_parallel.out bench_serve.out
 
-ci: vet build race bench
+# serve-smoke boots the nettrailsd daemon on an ephemeral port and
+# drives /healthz and /query end to end (plus the churn/pinned-version
+# checks) — the CI face of the query server.
+serve-smoke:
+	$(GO) test -count=1 ./cmd/nettrailsd/
 
+ci: vet build race serve-smoke bench
+
+# clean removes scratch files only; BENCH_*.json are committed
+# trajectory artifacts and must survive a clean.
 clean:
-	rm -f bench_parallel.out BENCH_parallel.json
+	rm -f bench_*.out

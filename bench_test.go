@@ -8,13 +8,19 @@ package nettrails_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	nettrails "repro"
 	"repro/internal/engine"
 	"repro/internal/protocols"
 	"repro/internal/provquery"
+	"repro/internal/server"
 )
 
 func mustSystem(b *testing.B, program string, n int, edges []protocols.Edge) *nettrails.System {
@@ -390,6 +396,117 @@ func parallelismLevels() []int {
 		levels = append(levels, n)
 	}
 	return levels
+}
+
+// BenchmarkServeQueries (E10): the query-serving workload — N
+// concurrent HTTP clients issuing provenance queries against a live
+// 8-AS BGP deployment whose simulation thread keeps replaying a
+// RouteViews-style trace. Epoch-snapshot isolation means the clients
+// read frozen versioned views: the simulation never waits for a
+// reader and every request sees one consistent virtual instant.
+// Reported versions/op > 0 confirms the simulation really advanced
+// while clients were querying.
+func BenchmarkServeQueries(b *testing.B) {
+	ases := make([]string, 8)
+	for i := range ases {
+		ases[i] = fmt.Sprintf("AS%d", i+1)
+	}
+	links := []nettrails.ASLink{
+		{A: "AS1", B: "AS2", Rel: nettrails.PeerOf},
+		{A: "AS1", B: "AS3", Rel: nettrails.CustomerOf},
+		{A: "AS2", B: "AS4", Rel: nettrails.CustomerOf},
+		{A: "AS3", B: "AS5", Rel: nettrails.CustomerOf},
+		{A: "AS4", B: "AS6", Rel: nettrails.CustomerOf},
+		{A: "AS5", B: "AS7", Rel: nettrails.CustomerOf},
+		{A: "AS6", B: "AS8", Rel: nettrails.CustomerOf},
+		{A: "AS7", B: "AS8", Rel: nettrails.PeerOf},
+	}
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			d, err := nettrails.NewBGPDeployment(ases, links, nettrails.Config{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A sentinel prefix outside the generated trace's 10.x pool:
+			// it is never withdrawn, so the queried tuple exists in every
+			// published snapshot.
+			if err := d.Originate("AS1", "192.0.2.0/24"); err != nil {
+				b.Fatal(err)
+			}
+			events, err := d.GenerateTrace(60, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pub, err := server.NewPublisher(d.Eng, server.DefaultRetain)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(server.New(pub, server.Info{Protocol: "bgp"}))
+			defer ts.Close()
+
+			// The simulation thread: replay the trace in a loop until the
+			// clients are done. Every quiescence publishes snapshots.
+			stop := make(chan struct{})
+			simDone := make(chan struct{})
+			go func() {
+				defer close(simDone)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ev := events[i%len(events)]
+					if ev.Type == 0 {
+						err = d.Originate(ev.Origin, ev.Prefix)
+					} else {
+						err = d.Withdraw(ev.Origin, ev.Prefix)
+					}
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+
+			startVersion := pub.Current().Version
+			const query = `{"q":"lineage of routeEntry(@'AS1',\"192.0.2.0/24\")"}`
+			var failures atomic.Int64
+			// Exactly `clients` concurrent client goroutines draining a
+			// shared ticket counter (RunParallel would multiply the
+			// level by GOMAXPROCS and mislabel the sweep).
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					client := ts.Client()
+					for next.Add(1) <= int64(b.N) {
+						resp, err := client.Post(ts.URL+"/query", "application/json",
+							strings.NewReader(query))
+						if err != nil {
+							failures.Add(1)
+							continue
+						}
+						if resp.StatusCode != http.StatusOK {
+							failures.Add(1)
+						}
+						resp.Body.Close()
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(stop)
+			<-simDone
+			if n := failures.Load(); n > 0 {
+				b.Fatalf("%d/%d queries failed", n, b.N)
+			}
+			b.ReportMetric(float64(pub.Current().Version-startVersion)/float64(b.N), "versions/op")
+		})
+	}
 }
 
 // BenchmarkEvalDeltaThroughput: microbenchmark of the single-node

@@ -1,0 +1,152 @@
+// nettrailsd serves provenance queries over HTTP against a live
+// NetTrails simulation — the daemon form of the paper's interactive
+// demonstration. It boots the same protocol/topology scenarios as
+// cmd/nettrails, keeps the simulation advancing with periodic topology
+// churn, and publishes an immutable snapshot after every epoch so any
+// number of concurrent HTTP readers query consistent virtual instants
+// without ever blocking the simulation (see internal/server and
+// docs/API.md).
+//
+// Usage examples:
+//
+//	nettrailsd -listen 127.0.0.1:8080
+//	nettrailsd -protocol pathvector -topology grid -nodes 16 -churn 100ms
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/query \
+//	     -d '{"q":"lineage of mincost(@'\''n1'\'','\''n3'\'',2)"}'
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	nettrails "repro"
+	"repro/internal/protocols"
+	"repro/internal/server"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "nettrailsd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port)")
+	protocol := flag.String("protocol", "mincost", "mincost, pathvector, dsr, distancevector")
+	topology := flag.String("topology", "line", "line, ring, star, grid, random")
+	nodes := flag.Int("nodes", 4, "number of nodes (grid uses the nearest square)")
+	cost := flag.Int64("cost", 1, "link cost for regular topologies")
+	seed := flag.Int64("seed", 1, "random seed")
+	parallelism := flag.Int("parallelism", runtime.NumCPU(), "epoch-scheduler workers (<=1 serial, results identical)")
+	churn := flag.Duration("churn", 200*time.Millisecond, "wall-clock interval between link flaps keeping the simulation advancing (0 disables)")
+	retain := flag.Int("retain", server.DefaultRetain, "how many recent snapshot versions stay pinnable")
+	flag.Parse()
+
+	programs := map[string]string{
+		"mincost":        nettrails.MinCost,
+		"pathvector":     nettrails.PathVector,
+		"dsr":            nettrails.DSR,
+		"distancevector": nettrails.DistanceVector,
+	}
+	prog, ok := programs[*protocol]
+	if !ok {
+		fail("unknown protocol %q", *protocol)
+	}
+
+	var edges []protocols.Edge
+	n := *nodes
+	switch *topology {
+	case "line":
+		edges = protocols.LineTopology(n, *cost)
+	case "ring":
+		edges = protocols.RingTopology(n, *cost)
+	case "star":
+		edges = protocols.StarTopology(n, *cost)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		n = side * side
+		edges = protocols.GridTopology(side, side, *cost)
+	case "random":
+		edges = protocols.RandomTopology(n, n/2, 4, *seed)
+	default:
+		fail("unknown topology %q", *topology)
+	}
+
+	sys, err := nettrails.NewSystem(prog, nettrails.NodeNames(n),
+		nettrails.Config{Seed: *seed, Parallelism: *parallelism})
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, e := range edges {
+		if err := sys.AddLink(e.A, e.B, e.Cost); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	pub, err := server.NewPublisher(sys.Engine, *retain)
+	if err != nil {
+		fail("%v", err)
+	}
+	srv := server.New(pub, server.Info{Protocol: *protocol})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail("%v", err)
+	}
+	snap := pub.Current()
+	fmt.Printf("nettrailsd: listening on http://%s (protocol=%s nodes=%d links=%d version=%d)\n",
+		ln.Addr(), *protocol, n, len(edges), snap.Version)
+
+	// The simulation thread: from here on, only this goroutine touches
+	// the engine. It keeps virtual time (and snapshot versions) moving
+	// by flapping one topology link per tick; every epoch inside each
+	// flap publishes a fresh consistent snapshot for the HTTP readers.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sigs
+		close(stop) // fan the shutdown out to churn loop and listener
+	}()
+	if *churn > 0 && len(edges) > 0 {
+		go func() {
+			tick := time.NewTicker(*churn)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				e := edges[i%len(edges)]
+				if err := sys.RemoveLink(e.A, e.B, e.Cost); err != nil {
+					fail("churn remove %s-%s: %v", e.A, e.B, err)
+				}
+				if err := sys.AddLink(e.A, e.B, e.Cost); err != nil {
+					fail("churn re-add %s-%s: %v", e.A, e.B, err)
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		<-stop
+		ln.Close()
+	}()
+	if err := httpSrv.Serve(ln); err != nil &&
+		err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+		fail("%v", err)
+	}
+}

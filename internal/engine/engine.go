@@ -14,6 +14,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/ndlog"
@@ -110,6 +111,14 @@ type Engine struct {
 	// the serial loop's, which would also finish the current instant's
 	// events before the new ones.
 	draining bool
+	// epochObserver, when set, runs on the scheduler thread after each
+	// fully-delivered virtual-time epoch (every node has consumed every
+	// event of the instant, no worker is active), which is exactly when
+	// global state forms a consistent cut. Snapshot publishers hook
+	// here; see SetEpochObserver. Held atomically so detaching from
+	// another goroutine (e.g. server shutdown) cannot race an active
+	// drain's reads.
+	epochObserver atomic.Pointer[func()]
 }
 
 // New compiles src (NDlog text) and builds an engine with the given
@@ -356,19 +365,42 @@ func (e *Engine) LoadProgramFacts() error {
 }
 
 // RunQuiescent drains all pending network events. With
-// Options.Parallelism > 1 it runs the epoch scheduler, delivering each
-// virtual instant's tuple deltas concurrently across destination
-// nodes; otherwise it runs the classic serial discrete-event loop.
-// Both schedules converge to the same state for the same seed.
+// Options.Parallelism > 1 — or whenever an epoch observer is attached —
+// it runs the epoch scheduler, delivering each virtual instant's tuple
+// deltas concurrently across destination nodes; otherwise it runs the
+// classic serial discrete-event loop. Both schedules converge to the
+// same state for the same seed.
 func (e *Engine) RunQuiescent() {
-	if e.opts.Parallelism > 1 {
+	if e.opts.Parallelism > 1 || e.epochObserver.Load() != nil {
 		if e.draining {
 			return // re-entrant: the active drain reaches quiescence
 		}
-		e.runEpochs(e.opts.Parallelism)
+		workers := e.opts.Parallelism
+		if workers < 1 {
+			workers = 1
+		}
+		e.runEpochs(workers)
 		return
 	}
 	e.Net.Run(0)
+}
+
+// SetEpochObserver installs fn to run on the scheduler thread after
+// every fully-delivered epoch, i.e. at each consistent virtual instant.
+// While an observer is set, RunQuiescent always drains through the
+// epoch scheduler (even at Parallelism <= 1) so the observer fires at
+// true epoch granularity; per-node state is identical either way, only
+// per-link message coalescing differs. fn must not re-enter the
+// engine's event loop (RunQuiescent from fn is a no-op by design) and
+// must confine itself to reading engine state. A nil fn detaches;
+// attach/detach may happen from any goroutine (the slot is atomic),
+// though fn itself only ever runs on the scheduler thread.
+func (e *Engine) SetEpochObserver(fn func()) {
+	if fn == nil {
+		e.epochObserver.Store(nil)
+		return
+	}
+	e.epochObserver.Store(&fn)
 }
 
 // InsertFact inserts a base tuple at this node, mirroring NDlog

@@ -135,6 +135,14 @@ func (e *Engine) runEpochs(workers int) {
 	for {
 		ep, ok := e.Net.NextEpoch()
 		if !ok {
+			// Fire once more at quiescence: a drain may find zero
+			// pending events even though the caller mutated state right
+			// before RunQuiescent (e.g. a fact whose derivations stay
+			// local). Observers dedup unchanged state themselves, so
+			// the extra call after a final epoch is free.
+			if fn := e.epochObserver.Load(); fn != nil {
+				(*fn)()
+			}
 			return
 		}
 		events := ep.Events
@@ -160,6 +168,13 @@ func (e *Engine) runEpochs(workers int) {
 				}
 			}
 			events = events[j:]
+		}
+		// The epoch's events are fully delivered and no worker is
+		// active: global state is a consistent cut of the execution at
+		// this virtual instant. Let observers (snapshot publishers)
+		// see it before the next epoch begins.
+		if fn := e.epochObserver.Load(); fn != nil {
+			(*fn)()
 		}
 	}
 }

@@ -60,6 +60,18 @@ func (s *Store) Snapshot() []rel.Tuple {
 	return out
 }
 
+// StateVersion summarizes the visible state of every table as one
+// monotonically increasing counter (the sum of per-table visibility
+// versions plus the table count). Snapshot publishers compare it across
+// epochs to skip nodes whose state did not change.
+func (s *Store) StateVersion() uint64 {
+	v := uint64(len(s.tables))
+	for _, t := range s.tables {
+		v += t.Version()
+	}
+	return v
+}
+
 // Counts returns relation -> visible row count.
 func (s *Store) Counts() map[string]int {
 	out := map[string]int{}

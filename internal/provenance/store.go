@@ -67,6 +67,9 @@ type Store struct {
 	// version increments on every mutation; the query cache uses it for
 	// conservative invalidation.
 	version uint64
+	// view caches the last frozen View built at the current version, so
+	// epoch publishers only pay the copy when the partition changed.
+	view *View
 }
 
 // NewStore creates the provenance partition for one node.

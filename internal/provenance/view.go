@@ -1,0 +1,94 @@
+package provenance
+
+import (
+	"sort"
+
+	"repro/internal/rel"
+)
+
+// View is an immutable copy of one node's provenance partition at a
+// single instant. Views are built copy-on-publish by Store.View and
+// shared freely across goroutines: nothing ever mutates a View after
+// construction, so readers need no locks.
+type View struct {
+	addr        string
+	version     uint64
+	prov        map[rel.ID][]Entry // sorted like Store.Derivations
+	exec        map[rel.ID]ExecEntry
+	pins        map[rel.ID]rel.Tuple
+	provEntries int
+}
+
+// View returns a frozen copy of the partition. The copy is cached per
+// store version: while no mutation has happened since the last call,
+// the same *View is handed back, so publishing an unchanged partition
+// every epoch costs one lock acquisition and a counter compare.
+func (s *Store) View() *View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.view != nil && s.view.version == s.version {
+		return s.view
+	}
+	v := &View{
+		addr:    s.addr,
+		version: s.version,
+		prov:    make(map[rel.ID][]Entry, len(s.prov)),
+		exec:    make(map[rel.ID]ExecEntry, len(s.exec)),
+		pins:    make(map[rel.ID]rel.Tuple, len(s.pins)),
+	}
+	for vid, list := range s.prov {
+		out := make([]Entry, len(list))
+		for i, ce := range list {
+			out[i] = ce.entry
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if c := out[i].RID.Compare(out[j].RID); c != 0 {
+				return c < 0
+			}
+			return out[i].RLoc < out[j].RLoc
+		})
+		v.prov[vid] = out
+		v.provEntries += len(out)
+	}
+	for rid, ce := range s.exec {
+		e := ce.exec
+		e.VIDs = append([]rel.ID(nil), ce.exec.VIDs...)
+		v.exec[rid] = e
+	}
+	for vid, p := range s.pins {
+		v.pins[vid] = p.tuple
+	}
+	s.view = v
+	return v
+}
+
+// Addr returns the owning node's address.
+func (v *View) Addr() string { return v.addr }
+
+// Version returns the store version the view was frozen at.
+func (v *View) Version() uint64 { return v.version }
+
+// Derivations returns the derivation entries of a tuple, sorted
+// deterministically; ok is false when the tuple is unknown here. The
+// returned slice is shared and must not be mutated.
+func (v *View) Derivations(vid rel.ID) ([]Entry, bool) {
+	list, ok := v.prov[vid]
+	return list, ok
+}
+
+// Exec returns the rule execution for a RID at this node.
+func (v *View) Exec(rid rel.ID) (ExecEntry, bool) {
+	e, ok := v.exec[rid]
+	return e, ok
+}
+
+// TupleOf resolves a pinned VID to its tuple value.
+func (v *View) TupleOf(vid rel.ID) (rel.Tuple, bool) {
+	t, ok := v.pins[vid]
+	return t, ok
+}
+
+// Statistics returns partition sizes, mirroring Store.Statistics.
+func (v *View) Statistics() Stats {
+	return Stats{ProvEntries: v.provEntries, ExecEntries: len(v.exec), Pins: len(v.pins)}
+}

@@ -34,6 +34,23 @@ type ParsedQuery struct {
 	Opts Options
 }
 
+// ParseQueryType resolves a query-type keyword (with its aliases,
+// case-insensitively) to a QueryType. It is the single name table for
+// both the textual grammar and structured API requests.
+func ParseQueryType(word string) (QueryType, error) {
+	switch strings.ToLower(word) {
+	case "lineage":
+		return Lineage, nil
+	case "bases", "basetuples":
+		return BaseTuples, nil
+	case "nodes":
+		return Nodes, nil
+	case "count", "derivations":
+		return DerivCount, nil
+	}
+	return 0, fmt.Errorf("provquery: unknown query type %q (want lineage/bases/nodes/count)", word)
+}
+
 // ParseQuery parses a textual provenance query.
 func ParseQuery(src string) (*ParsedQuery, error) {
 	s := strings.TrimSpace(src)
@@ -42,18 +59,11 @@ func ParseQuery(src string) (*ParsedQuery, error) {
 		return nil, fmt.Errorf("provquery: empty query")
 	}
 	q := &ParsedQuery{}
-	switch strings.ToLower(typWord) {
-	case "lineage":
-		q.Type = Lineage
-	case "bases", "basetuples":
-		q.Type = BaseTuples
-	case "nodes":
-		q.Type = Nodes
-	case "count", "derivations":
-		q.Type = DerivCount
-	default:
-		return nil, fmt.Errorf("provquery: unknown query type %q (want lineage/bases/nodes/count)", typWord)
+	typ, err := ParseQueryType(typWord)
+	if err != nil {
+		return nil, err
 	}
+	q.Type = typ
 	ofWord, rest, ok := cutWord(rest)
 	if !ok || strings.ToLower(ofWord) != "of" {
 		return nil, fmt.Errorf("provquery: expected 'of' after query type")
@@ -172,6 +182,11 @@ func parseOpts(s string) (Options, error) {
 	}
 	return o, nil
 }
+
+// ParseTupleLiteral parses an NDlog fact literal such as
+// mincost(@'n1','n3',2) into a tuple (addresses in single quotes,
+// strings in double quotes) — the tuple syntax of the query language.
+func ParseTupleLiteral(src string) (rel.Tuple, error) { return parseTupleLiteral(src) }
 
 func parseTupleLiteral(src string) (rel.Tuple, error) {
 	prog, err := ndlog.Parse("q " + src + ".")

@@ -1,0 +1,197 @@
+package provquery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/provenance"
+	"repro/internal/rel"
+)
+
+// This file is the snapshot-isolated face of the query engine. The live
+// Client executes queries as messages inside the discrete-event
+// simulation, which makes every query a simulation event: it advances
+// virtual time and must run on the simulation thread. A SnapshotClient
+// instead evaluates the same query types against frozen, immutable
+// provenance views (provenance.View), so any number of goroutines can
+// query concurrently — and lock-free — while the simulation keeps
+// advancing. nettrailsd serves every HTTP query this way.
+
+// PartitionView is the read-only surface of one node's provenance
+// partition that snapshot query evaluation needs. Both the live
+// *provenance.Store and the frozen *provenance.View implement it; the
+// latter is what makes concurrent evaluation safe without locks.
+type PartitionView interface {
+	Derivations(vid rel.ID) ([]provenance.Entry, bool)
+	Exec(rid rel.ID) (provenance.ExecEntry, bool)
+	TupleOf(vid rel.ID) (rel.Tuple, bool)
+}
+
+var (
+	_ PartitionView = (*provenance.Store)(nil)
+	_ PartitionView = (*provenance.View)(nil)
+)
+
+// SnapshotClient answers provenance queries against a fixed set of
+// per-node partition views. It is immutable after construction; a
+// single SnapshotClient may serve many goroutines concurrently when
+// its views are immutable (e.g. provenance.View).
+type SnapshotClient struct {
+	views map[string]PartitionView
+}
+
+// NewSnapshotClient builds a client over per-node views keyed by node
+// address. The map is used as-is and must not be mutated afterwards.
+func NewSnapshotClient(views map[string]PartitionView) *SnapshotClient {
+	return &SnapshotClient{views: views}
+}
+
+// Query evaluates a provenance query of the given type for the tuple at
+// node `at`, entirely against the frozen views. Result semantics match
+// the live Client.Query: identical proof trees, base-tuple sets, node
+// sets, and derivation counts for the same state. Stats are modeled,
+// not measured: Messages/Bytes count the request/response traffic the
+// live traversal would have sent (each cross-node expansion is one
+// request plus one response); Latency is zero because no virtual time
+// passes in a snapshot.
+func (c *SnapshotClient) Query(typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
+	v, ok := c.views[at]
+	if !ok {
+		return nil, fmt.Errorf("provquery: unknown node %s", at)
+	}
+	vid := t.VID()
+	if _, ok := v.Derivations(vid); !ok {
+		return nil, fmt.Errorf("provquery: tuple %s has no provenance at %s", t, at)
+	}
+	e := &snapEval{client: c, typ: typ, opts: opts}
+	out := e.resolveTuple(at, v, vid, nil)
+	res := &Result{
+		Type:   typ,
+		Pruned: out.Pruned,
+		Stats:  Stats{Messages: e.msgs, Bytes: e.bytes},
+	}
+	switch typ {
+	case Lineage:
+		res.Root = out.Node
+	case BaseTuples:
+		res.Bases = dedupBases(out.Bases)
+	case Nodes:
+		for n := range out.Nodes {
+			res.Nodes = append(res.Nodes, n)
+		}
+		sort.Strings(res.Nodes)
+	case DerivCount:
+		res.Count = out.Count
+	}
+	return res, nil
+}
+
+// Run parses and executes a textual query (see ParseQuery).
+func (c *SnapshotClient) Run(src string) (*Result, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Query(q.Type, q.At, q.Tuple, q.Opts)
+}
+
+// snapEval carries one query's options and traffic model through the
+// recursive traversal.
+type snapEval struct {
+	client *SnapshotClient
+	typ    QueryType
+	opts   Options
+	msgs   int
+	bytes  int
+}
+
+// resolveTuple mirrors Service.resolveTuple on a frozen view: cycle
+// detection on the visited path, threshold pruning, and one derivation
+// branch per prov entry.
+func (e *snapEval) resolveTuple(at string, v PartitionView, vid rel.ID, visited []rel.ID) subResult {
+	for _, seen := range visited {
+		if seen == vid {
+			tuple, _ := v.TupleOf(vid)
+			return cycleResult(vid, tuple, at, e.typ)
+		}
+	}
+	tuple, ok := v.TupleOf(vid)
+	if !ok {
+		return missingResult(vid, at, e.typ)
+	}
+	derivs, ok := v.Derivations(vid)
+	if !ok {
+		return missingResult(vid, at, e.typ)
+	}
+	pruned := false
+	if e.opts.Threshold > 0 && len(derivs) > e.opts.Threshold {
+		derivs = derivs[:e.opts.Threshold]
+		pruned = true
+	}
+	node := &ProofNode{VID: vid, Tuple: tuple, Loc: at, Pruned: pruned}
+	acc := subResult{
+		Node:   node,
+		Nodes:  map[string]bool{at: true},
+		Pruned: pruned,
+	}
+	childVisited := append(append([]rel.ID(nil), visited...), vid)
+	for _, d := range derivs {
+		if d.RID.IsZero() {
+			node.Base = true
+			acc.Bases = append(acc.Bases, TupleAt{Tuple: tuple, Loc: at})
+			acc.Count++
+			continue
+		}
+		r := e.expandDeriv(at, d, childVisited)
+		mergeInto(&acc, r)
+	}
+	return acc
+}
+
+// expandDeriv resolves one derivation: locally when the rule executed
+// here, otherwise at the executing node's view, charging one simulated
+// request/response pair for the hop.
+func (e *snapEval) expandDeriv(at string, d provenance.Entry, visited []rel.ID) subResult {
+	loc := d.RLoc
+	if loc == at {
+		return e.expandExecLocal(at, e.client.views[at], d.RID, visited)
+	}
+	v, ok := e.client.views[loc]
+	if !ok {
+		return missingResult(d.RID, loc, e.typ)
+	}
+	e.msgs++ // request
+	e.bytes += requestSize(request{rid: d.RID, visited: visited})
+	r := e.expandExecLocal(loc, v, d.RID, visited)
+	e.msgs++ // response
+	e.bytes += responseSize(e.typ, r)
+	return r
+}
+
+// expandExecLocal mirrors Service.expandExecLocal: resolve every input
+// tuple of the rule execution and combine into one derivation branch.
+func (e *snapEval) expandExecLocal(at string, v PartitionView, rid rel.ID, visited []rel.ID) subResult {
+	exec, ok := v.Exec(rid)
+	if !ok {
+		return missingResult(rid, at, e.typ)
+	}
+	deriv := &ProofDeriv{RID: rid, Rule: exec.Rule, RLoc: at}
+	out := subResult{
+		Nodes: map[string]bool{at: true},
+		Count: 1,
+	}
+	for _, vid := range exec.VIDs {
+		r := e.resolveTuple(at, v, vid, visited)
+		if r.Node != nil {
+			deriv.Children = append(deriv.Children, r.Node)
+		}
+		out.Bases = append(out.Bases, r.Bases...)
+		for n := range r.Nodes {
+			out.Nodes[n] = true
+		}
+		out.Count *= r.Count
+		out.Pruned = out.Pruned || r.Pruned
+	}
+	out.Node = &ProofNode{Derivs: []*ProofDeriv{deriv}} // carrier; merged by caller
+	return out
+}

@@ -49,6 +49,9 @@ type Table struct {
 	schema  *Schema
 	rows    map[ID]*Row
 	indexes map[string]*index // key: canonical column-list string
+	// version counts visibility transitions (Appeared/Disappeared), so
+	// snapshot publishers can skip re-copying unchanged tables.
+	version uint64
 }
 
 type index struct {
@@ -63,6 +66,11 @@ func NewTable(s *Schema) *Table {
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
+
+// Version returns the visibility-transition counter: it increases
+// exactly when the set of visible tuples changes, so two equal versions
+// of the same table imply identical Tuples() output.
+func (t *Table) Version() uint64 { return t.version }
 
 // Len returns the number of visible rows.
 func (t *Table) Len() int { return len(t.rows) }
@@ -176,6 +184,7 @@ func (t *Table) Apply(tp Tuple, delta int) Transition {
 			r = &Row{Tuple: tp, Count: delta}
 			t.rows[vid] = r
 			t.indexAdd(vid, tp)
+			t.version++
 			return Appeared
 		}
 		r.Count += delta
@@ -189,6 +198,7 @@ func (t *Table) Apply(tp Tuple, delta int) Transition {
 		if r.Count <= 0 {
 			delete(t.rows, vid)
 			t.indexRemove(vid, r.Tuple)
+			t.version++
 			return Disappeared
 		}
 		return NoChange

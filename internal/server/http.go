@@ -1,0 +1,435 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/provquery"
+	"repro/internal/rel"
+	"repro/internal/simnet"
+	"repro/internal/viz"
+)
+
+// Info labels a server instance for /healthz.
+type Info struct {
+	// Protocol is the human-readable workload name (e.g. "mincost",
+	// "bgp").
+	Protocol string
+}
+
+// Server is the HTTP JSON face of a Publisher. All handlers read
+// published snapshots only; none ever touches live engine state, so
+// any number of requests run concurrently with the simulation.
+type Server struct {
+	pub  *Publisher
+	info Info
+	mux  *http.ServeMux
+}
+
+// New builds the HTTP API over a publisher.
+func New(pub *Publisher, info Info) *Server {
+	s := &Server{pub: pub, info: info, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /nodes", s.handleNodes)
+	s.mux.HandleFunc("GET /state/{node}", s.handleState)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /proof.dot", s.handleProofDOT)
+	return s
+}
+
+// Handler returns the root handler for http.Serve.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- JSON shapes -------------------------------------------------------
+
+// tupleJSON is the wire form of a tuple: the relation name, each
+// attribute rendered as its NDlog literal, and the full literal text.
+type tupleJSON struct {
+	Rel  string   `json:"rel"`
+	Vals []string `json:"vals"`
+	Text string   `json:"text"`
+}
+
+func jsonTuple(t rel.Tuple) tupleJSON {
+	out := tupleJSON{Rel: t.Rel, Vals: make([]string, len(t.Vals)), Text: t.String()}
+	for i, v := range t.Vals {
+		out.Vals[i] = v.String()
+	}
+	return out
+}
+
+// proofJSON is the wire form of a proof-tree vertex.
+type proofJSON struct {
+	Tuple  *tupleJSON  `json:"tuple,omitempty"` // nil for unresolved vertices
+	VID    string      `json:"vid"`
+	Loc    string      `json:"loc"`
+	Base   bool        `json:"base,omitempty"`
+	Cycle  bool        `json:"cycle,omitempty"`
+	Pruned bool        `json:"pruned,omitempty"`
+	Derivs []derivJSON `json:"derivs,omitempty"`
+}
+
+// derivJSON is one derivation step: the rule, where it executed, and
+// the input tuples' sub-proofs.
+type derivJSON struct {
+	Rule     string      `json:"rule"`
+	Loc      string      `json:"loc"`
+	RID      string      `json:"rid"`
+	Children []proofJSON `json:"children,omitempty"`
+}
+
+func jsonProof(p *provquery.ProofNode) proofJSON {
+	out := proofJSON{
+		VID:    p.VID.Short(),
+		Loc:    p.Loc,
+		Base:   p.Base,
+		Cycle:  p.Cycle,
+		Pruned: p.Pruned,
+	}
+	if p.Tuple.Rel != "" {
+		t := jsonTuple(p.Tuple)
+		out.Tuple = &t
+	}
+	for _, d := range p.Derivs {
+		dj := derivJSON{Rule: d.Rule, Loc: d.RLoc, RID: d.RID.Short()}
+		for _, c := range d.Children {
+			dj.Children = append(dj.Children, jsonProof(c))
+		}
+		out.Derivs = append(out.Derivs, dj)
+	}
+	return out
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// snapshotFor resolves the snapshot a request is pinned to: the
+// ?version= query parameter (or, for /query, the JSON field) selects a
+// retained version; absent or 0 means current. A missing version
+// reports 410 Gone with the retained range.
+func (s *Server) snapshotFor(w http.ResponseWriter, version uint64) (*Snapshot, bool) {
+	snap, ok := s.pub.At(version)
+	if !ok {
+		oldest, newest := s.pub.Versions()
+		writeErr(w, http.StatusGone,
+			"version %d not retained (oldest %d, newest %d)", version, oldest, newest)
+		return nil, false
+	}
+	return snap, true
+}
+
+func versionParam(r *http.Request) (uint64, error) {
+	raw := r.URL.Query().Get("version")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad version %q", raw)
+	}
+	return v, nil
+}
+
+// ---- endpoints ---------------------------------------------------------
+
+type healthzJSON struct {
+	OK       bool   `json:"ok"`
+	Protocol string `json:"protocol"`
+	Version  uint64 `json:"version"`
+	Time     int64  `json:"virtualTimeUs"`
+	Nodes    int    `json:"nodes"`
+	Oldest   uint64 `json:"oldestVersion"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.pub.Current()
+	oldest, _ := s.pub.Versions()
+	writeJSON(w, http.StatusOK, healthzJSON{
+		OK:       true,
+		Protocol: s.info.Protocol,
+		Version:  snap.Version,
+		Time:     int64(snap.Time),
+		Nodes:    len(snap.Nodes),
+		Oldest:   oldest,
+	})
+}
+
+type nodeJSON struct {
+	Addr        string   `json:"addr"`
+	Neighbors   []string `json:"neighbors"`
+	Tuples      int      `json:"tuples"`
+	ProvEntries int      `json:"provEntries"`
+	ExecEntries int      `json:"execEntries"`
+	SentMsgs    int      `json:"sentMsgs"`
+	SentBytes   int      `json:"sentBytes"`
+}
+
+type nodesJSON struct {
+	Version uint64     `json:"version"`
+	Time    int64      `json:"virtualTimeUs"`
+	Nodes   []nodeJSON `json:"nodes"`
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	version, err := versionParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, ok := s.snapshotFor(w, version)
+	if !ok {
+		return
+	}
+	out := nodesJSON{Version: snap.Version, Time: int64(snap.Time)}
+	for _, addr := range snap.Nodes {
+		info := snap.Info[addr]
+		out.Nodes = append(out.Nodes, nodeJSON{
+			Addr:        addr,
+			Neighbors:   info.Neighbors,
+			Tuples:      info.Tuples,
+			ProvEntries: info.Prov.ProvEntries,
+			ExecEntries: info.Prov.ExecEntries,
+			SentMsgs:    info.SentMsgs,
+			SentBytes:   info.SentBytes,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type stateJSON struct {
+	Version uint64                 `json:"version"`
+	Time    int64                  `json:"virtualTimeUs"`
+	Node    string                 `json:"node"`
+	Tables  map[string][]tupleJSON `json:"tables"`
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	version, err := versionParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, ok := s.snapshotFor(w, version)
+	if !ok {
+		return
+	}
+	addr := r.PathValue("node")
+	tables, ok := snap.NodeTables(addr)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown node %q", addr)
+		return
+	}
+	out := stateJSON{Version: snap.Version, Time: int64(snap.Time), Node: addr}
+
+	// ?t=<virtual time in us> time-travels through the logstore history
+	// instead of reading the snapshot's own instant.
+	if raw := r.URL.Query().Get("t"); raw != "" {
+		us, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad virtual time %q", raw)
+			return
+		}
+		view := snap.History.At(simnet.Time(us))
+		sn, ok := view[addr]
+		if !ok {
+			writeErr(w, http.StatusNotFound,
+				"no capture of %q at or before t=%dus in the retained history", addr, us)
+			return
+		}
+		tables = sn.Tables
+		out.Time = int64(sn.Time)
+	}
+
+	relFilter := r.URL.Query().Get("rel")
+	out.Tables = map[string][]tupleJSON{}
+	for name, ts := range tables {
+		if relFilter != "" && name != relFilter {
+			continue
+		}
+		rows := make([]tupleJSON, len(ts))
+		for i, t := range ts {
+			rows[i] = jsonTuple(t)
+		}
+		out.Tables[name] = rows
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryRequest is the /query body. Either q (the textual query
+// language) or type+tuple (structured form) must be set.
+type queryRequest struct {
+	Q       string `json:"q,omitempty"`
+	Type    string `json:"type,omitempty"`
+	Tuple   string `json:"tuple,omitempty"`
+	At      string `json:"at,omitempty"`
+	Version uint64 `json:"version,omitempty"`
+	Options struct {
+		Threshold  int  `json:"threshold,omitempty"`
+		Sequential bool `json:"sequential,omitempty"`
+	} `json:"options"`
+}
+
+type queryStatsJSON struct {
+	Messages int `json:"messages"`
+	Bytes    int `json:"bytes"`
+}
+
+type queryResponse struct {
+	Version uint64         `json:"version"`
+	Time    int64          `json:"virtualTimeUs"`
+	Type    string         `json:"type"`
+	Pruned  bool           `json:"pruned,omitempty"`
+	Proof   *proofJSON     `json:"proof,omitempty"`
+	Text    string         `json:"text,omitempty"`
+	Bases   []tupleJSON    `json:"bases,omitempty"`
+	Nodes   []string       `json:"nodes,omitempty"`
+	Count   *int           `json:"count,omitempty"`
+	Stats   queryStatsJSON `json:"stats"`
+}
+
+// resolveTupleAt parses a tuple literal and resolves the node to query
+// at: the explicit at argument, else the tuple's location attribute.
+func resolveTupleAt(lit, at string) (rel.Tuple, string, error) {
+	t, err := provquery.ParseTupleLiteral(lit)
+	if err != nil {
+		return rel.Tuple{}, "", err
+	}
+	if at == "" {
+		loc, ok := t.LocCol0()
+		if !ok {
+			return rel.Tuple{}, "", fmt.Errorf("tuple has no location attribute; pass an explicit node")
+		}
+		at = loc
+	}
+	return t, at, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	snap, ok := s.snapshotFor(w, req.Version)
+	if !ok {
+		return
+	}
+
+	// Resolve both request forms to (type, tuple, at, opts) before
+	// evaluating, so every malformed query is a 400 and only missing
+	// provenance is a 404.
+	var typ provquery.QueryType
+	var t rel.Tuple
+	var at string
+	var opts provquery.Options
+	switch {
+	case req.Q != "":
+		parsed, err := provquery.ParseQuery(req.Q)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		typ, t, at, opts = parsed.Type, parsed.Tuple, parsed.At, parsed.Opts
+	case req.Type != "" && req.Tuple != "":
+		var err error
+		typ, err = provquery.ParseQueryType(req.Type)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		t, at, err = resolveTupleAt(req.Tuple, req.At)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts = provquery.Options{
+			Threshold:  req.Options.Threshold,
+			Sequential: req.Options.Sequential,
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, `need "q" or "type"+"tuple"`)
+		return
+	}
+
+	res, err := snap.Query(typ, at, t, opts)
+	if err != nil {
+		// Unknown tuples/nodes surface here; the snapshot simply has no
+		// provenance for them.
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	out := queryResponse{
+		Version: snap.Version,
+		Time:    int64(snap.Time),
+		Type:    res.Type.String(),
+		Pruned:  res.Pruned,
+		Stats:   queryStatsJSON{Messages: res.Stats.Messages, Bytes: res.Stats.Bytes},
+	}
+	switch res.Type {
+	case provquery.Lineage:
+		pj := jsonProof(res.Root)
+		out.Proof = &pj
+		out.Text = viz.ProofTree(res.Root, viz.ProofTreeOptions{})
+	case provquery.BaseTuples:
+		out.Bases = []tupleJSON{}
+		for _, b := range res.Bases {
+			tj := jsonTuple(b.Tuple)
+			out.Bases = append(out.Bases, tj)
+		}
+	case provquery.Nodes:
+		out.Nodes = res.Nodes
+	case provquery.DerivCount:
+		out.Count = &res.Count
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleProofDOT renders the lineage of ?tuple= (optionally ?at=,
+// ?version=) as a Graphviz DOT document.
+func (s *Server) handleProofDOT(w http.ResponseWriter, r *http.Request) {
+	version, err := versionParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, ok := s.snapshotFor(w, version)
+	if !ok {
+		return
+	}
+	lit := r.URL.Query().Get("tuple")
+	if lit == "" {
+		writeErr(w, http.StatusBadRequest, "missing ?tuple= literal")
+		return
+	}
+	t, at, err := resolveTupleAt(lit, r.URL.Query().Get("at"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := snap.Query(provquery.Lineage, at, t, provquery.Options{})
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+	w.Header().Set("X-Snapshot-Version", strconv.FormatUint(snap.Version, 10))
+	fmt.Fprint(w, viz.ProofDOT(res.Root))
+}

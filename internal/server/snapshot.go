@@ -1,0 +1,303 @@
+// Package server turns a NetTrails simulation into a concurrent
+// provenance query service: cmd/nettrailsd runs it behind an HTTP JSON
+// API. Its core mechanism is epoch-snapshot isolation.
+//
+// The engine is single-threaded by contract — every runtime, table,
+// and provenance partition belongs to the simulation thread (plus the
+// epoch scheduler's confined workers). Live provquery queries are
+// themselves simulation events: they travel over the simulated network
+// and advance virtual time, so they cannot run concurrently with the
+// simulation or with each other. A query *server* therefore never
+// touches live state. Instead, a Publisher hooks the engine's epoch
+// observer: after every fully-delivered virtual-time epoch — a
+// consistent cut of the distributed execution — it builds an immutable
+// Snapshot (copy-on-publish, with per-table and per-partition version
+// tracking so unchanged state is handed off rather than re-copied) and
+// swaps it into an atomic pointer. HTTP readers load the pointer and
+// evaluate queries with provquery.SnapshotClient against the frozen
+// views:
+//
+//   - readers never block the simulation loop (they take no locks the
+//     publisher ever holds; publishing is one atomic store),
+//   - the simulation never blocks readers (old snapshots stay valid
+//     after newer ones are published),
+//   - two queries pinned to the same snapshot version always see
+//     byte-identical state, no matter how far the simulation has
+//     advanced in between.
+//
+// A bounded ring of recent snapshots supports version pinning, and a
+// logstore history of per-node captures supports time-travel reads
+// (GET /state/{node}?t=...).
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/logstore"
+	"repro/internal/provenance"
+	"repro/internal/provquery"
+	"repro/internal/rel"
+	"repro/internal/simnet"
+)
+
+// NodeInfo is the per-node metadata frozen into a snapshot.
+type NodeInfo struct {
+	Addr      string
+	Neighbors []string
+	Tuples    int // visible tuples across all tables
+	Prov      provenance.Stats
+	SentMsgs  int
+	SentBytes int
+}
+
+// Snapshot is one immutable published view of the whole system at a
+// consistent virtual instant. Everything reachable from a Snapshot is
+// frozen: concurrent readers share it without synchronization.
+type Snapshot struct {
+	// Version numbers published snapshots densely from 1; it increases
+	// only when some node's state actually changed, so equal versions
+	// imply identical state.
+	Version uint64
+	// Time is the virtual time of the epoch that produced the snapshot.
+	Time simnet.Time
+	// Nodes lists node addresses, sorted.
+	Nodes []string
+	// Tables maps node -> relation -> visible tuples (sorted).
+	Tables map[string]map[string][]rel.Tuple
+	// Info maps node -> frozen metadata.
+	Info map[string]NodeInfo
+	// History is the time-indexed log of per-node captures up to and
+	// including this snapshot (logstore-backed time travel).
+	History *logstore.Store
+
+	views map[string]*provenance.View
+	query *provquery.SnapshotClient
+}
+
+// Query evaluates a provenance query against this snapshot. Safe for
+// concurrent use.
+func (s *Snapshot) Query(typ provquery.QueryType, at string, t rel.Tuple, opts provquery.Options) (*provquery.Result, error) {
+	return s.query.Query(typ, at, t, opts)
+}
+
+// QueryText evaluates a textual provenance query (provquery.ParseQuery
+// grammar) against this snapshot. Safe for concurrent use.
+func (s *Snapshot) QueryText(src string) (*provquery.Result, error) {
+	return s.query.Run(src)
+}
+
+// NodeTables returns a node's frozen tables; ok is false for unknown
+// nodes.
+func (s *Snapshot) NodeTables(addr string) (map[string][]rel.Tuple, bool) {
+	t, ok := s.Tables[addr]
+	return t, ok
+}
+
+// ring is the immutable list of retained snapshots, ascending by
+// version; the last element is current. Swapped wholesale on publish.
+type ring struct {
+	snaps []*Snapshot
+}
+
+// Publisher builds snapshots from a live engine and publishes them for
+// lock-free readers. All its methods except Current/At/Versions must
+// run on the simulation thread (Publish is normally invoked via the
+// engine's epoch observer and never called directly).
+type Publisher struct {
+	eng    *engine.Engine
+	retain int
+
+	cur atomic.Pointer[ring]
+
+	// Dirty tracking: skip re-copying what did not change.
+	lastState  map[string]uint64                  // node -> eval store StateVersion
+	lastProv   map[string]uint64                  // node -> provenance store version
+	lastTabVer map[string]map[string]uint64       // node -> relation -> table version
+	lastTables map[string]map[string][]rel.Tuple  // node -> last frozen tables
+	history    []logstore.Snapshot                // append-only; wrapped via FromSorted
+}
+
+// DefaultRetain is how many recent snapshot versions a publisher keeps
+// for version-pinned reads when no explicit retention is given.
+const DefaultRetain = 64
+
+// NewPublisher attaches a publisher to the engine's epoch observer and
+// publishes the initial snapshot (version 1) so Current never returns
+// nil. retain bounds how many recent versions stay pinnable (values
+// < 1 mean DefaultRetain).
+func NewPublisher(eng *engine.Engine, retain int) (*Publisher, error) {
+	if retain < 1 {
+		retain = DefaultRetain
+	}
+	p := &Publisher{
+		eng:        eng,
+		retain:     retain,
+		lastState:  map[string]uint64{},
+		lastProv:   map[string]uint64{},
+		lastTabVer: map[string]map[string]uint64{},
+		lastTables: map[string]map[string][]rel.Tuple{},
+	}
+	for _, addr := range eng.Nodes() {
+		n, _ := eng.Node(addr)
+		if n.Prov == nil {
+			return nil, fmt.Errorf("server: node %s has no provenance store", addr)
+		}
+	}
+	p.cur.Store(&ring{})
+	p.Publish()
+	eng.SetEpochObserver(func() { p.Publish() })
+	return p, nil
+}
+
+// Detach removes the publisher from the engine's epoch observer. The
+// already-published snapshots remain readable.
+func (p *Publisher) Detach() { p.eng.SetEpochObserver(nil) }
+
+// Current returns the newest snapshot. Safe for concurrent use.
+func (p *Publisher) Current() *Snapshot {
+	r := p.cur.Load()
+	return r.snaps[len(r.snaps)-1]
+}
+
+// At returns the retained snapshot with the given version; ok is false
+// when it was never published or has aged out of the retention ring.
+// Version 0 means current. Safe for concurrent use.
+func (p *Publisher) At(version uint64) (*Snapshot, bool) {
+	r := p.cur.Load()
+	if version == 0 {
+		return r.snaps[len(r.snaps)-1], true
+	}
+	// Versions are dense and ascending: index arithmetic, no scan.
+	first := r.snaps[0].Version
+	if version < first || version > r.snaps[len(r.snaps)-1].Version {
+		return nil, false
+	}
+	return r.snaps[version-first], true
+}
+
+// Versions returns the oldest and newest retained versions. Safe for
+// concurrent use.
+func (p *Publisher) Versions() (oldest, newest uint64) {
+	r := p.cur.Load()
+	return r.snaps[0].Version, r.snaps[len(r.snaps)-1].Version
+}
+
+// Publish builds a snapshot of the engine's state and publishes it.
+// It runs on the simulation thread (epoch observer); between epochs no
+// worker is active, so reading every node is race-free. When no node's
+// state changed since the last publish, the current snapshot is
+// returned unchanged — versions advance only with state.
+func (p *Publisher) Publish() *Snapshot {
+	prev := p.cur.Load()
+	changed := len(prev.snaps) == 0
+	for _, addr := range p.eng.Nodes() {
+		n, _ := p.eng.Node(addr)
+		if p.lastState[addr] != n.RT.Store.StateVersion() || p.lastProv[addr] != n.Prov.Version() {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return prev.snaps[len(prev.snaps)-1]
+	}
+
+	now := p.eng.Net.Now()
+	snap := &Snapshot{
+		Version: 1,
+		Time:    now,
+		Nodes:   p.eng.Nodes(),
+		Tables:  make(map[string]map[string][]rel.Tuple, len(p.eng.Nodes())),
+		Info:    make(map[string]NodeInfo, len(p.eng.Nodes())),
+		views:   make(map[string]*provenance.View, len(p.eng.Nodes())),
+	}
+	if len(prev.snaps) > 0 {
+		snap.Version = prev.snaps[len(prev.snaps)-1].Version + 1
+	}
+
+	views := make(map[string]provquery.PartitionView, len(snap.Nodes))
+	for _, addr := range snap.Nodes {
+		n, _ := p.eng.Node(addr)
+		snap.Tables[addr] = p.freezeTables(addr, n)
+		v := n.Prov.View() // cached inside the store while unchanged
+		snap.views[addr] = v
+		views[addr] = v
+
+		info := NodeInfo{
+			Addr:      addr,
+			Neighbors: p.eng.Net.Neighbors(addr),
+			Prov:      v.Statistics(),
+		}
+		for _, ts := range snap.Tables[addr] {
+			info.Tuples += len(ts)
+		}
+		if sent, _, ok := p.eng.Net.NodeTraffic(addr); ok {
+			info.SentMsgs = sent.Messages
+			info.SentBytes = sent.Bytes
+		}
+		snap.Info[addr] = info
+
+		p.lastState[addr] = n.RT.Store.StateVersion()
+		p.lastProv[addr] = n.Prov.Version()
+
+		p.history = append(p.history, logstore.Snapshot{
+			Time:        now,
+			Node:        addr,
+			Tables:      snap.Tables[addr],
+			ProvEntries: info.Prov.ProvEntries,
+			ExecEntries: info.Prov.ExecEntries,
+			Neighbors:   info.Neighbors,
+			SentMsgs:    info.SentMsgs,
+			SentBytes:   info.SentBytes,
+		})
+	}
+	// Trim history to the retention window. Resliced-away prefixes stay
+	// valid inside older snapshots' History stores: appends only ever
+	// write past every published length.
+	if maxLen := p.retain * len(snap.Nodes); len(p.history) > maxLen {
+		p.history = p.history[len(p.history)-maxLen:]
+	}
+	snap.History = logstore.FromSorted(p.history[:len(p.history):len(p.history)])
+	snap.query = provquery.NewSnapshotClient(views)
+
+	snaps := append(append([]*Snapshot{}, prev.snaps...), snap)
+	if len(snaps) > p.retain {
+		snaps = snaps[len(snaps)-p.retain:]
+	}
+	p.cur.Store(&ring{snaps: snaps})
+	return snap
+}
+
+// freezeTables returns the node's relation -> sorted-tuples map,
+// reusing the previous snapshot's slices (and, when nothing in the
+// node changed, its whole map) for every table whose visibility
+// version is unchanged — persistent-table handoff instead of copying.
+func (p *Publisher) freezeTables(addr string, n *engine.Node) map[string][]rel.Tuple {
+	names := n.RT.Store.TableNames()
+	prevVer := p.lastTabVer[addr]
+	prevTabs := p.lastTables[addr]
+	allSame := prevTabs != nil && len(prevVer) == len(names)
+	ver := make(map[string]uint64, len(names))
+	tables := make(map[string][]rel.Tuple, len(names))
+	for _, name := range names {
+		// TableNames only lists instantiated tables, so Table cannot
+		// fail here — and len(ver) == len(names) holds, which the
+		// allSame handoff depends on.
+		tbl, _ := n.RT.Store.Table(name)
+		v := tbl.Version()
+		ver[name] = v
+		if prevTabs != nil && prevVer[name] == v {
+			tables[name] = prevTabs[name]
+		} else {
+			tables[name] = tbl.Tuples()
+			allSame = false
+		}
+	}
+	p.lastTabVer[addr] = ver
+	if allSame {
+		return prevTabs
+	}
+	p.lastTables[addr] = tables
+	return tables
+}
