@@ -1,11 +1,17 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all vet build test race bench serve-smoke ci clean
+.PHONY: all vet fmt-check build test race fuzz bench serve-smoke ci clean
 
-all: vet build test
+all: fmt-check vet build test
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the offenders) when any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -16,18 +22,29 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fuzz gives the two hand-written parsers (the provenance query
+# language and NDlog) a short native-fuzzing shake, seeded from the
+# test corpora. Override FUZZTIME for longer local hunts.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/provquery
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/ndlog
+
 # bench sweeps the tracked benchmark suites and records the results as
 # JSON so the performance trajectory is archived over time:
 #   - BENCH_parallel.json: the parallel epoch scheduler (serial vs
 #     worker-pool convergence on path-vector, mincost, and BGP)
 #   - BENCH_serve.json: nettrailsd query serving (N concurrent HTTP
 #     clients against a live 8-AS BGP run under snapshot isolation)
+#   - BENCH_querycache.json: the per-version sub-proof cache (cold
+#     traversal vs cache-served repeats, direct and over HTTP)
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 3x . | tee bench_parallel.out
 	$(GO) run ./tools/benchjson < bench_parallel.out > BENCH_parallel.json
 	$(GO) test -run '^$$' -bench 'BenchmarkServeQueries' -benchtime 3x . | tee bench_serve.out
 	$(GO) run ./tools/benchjson < bench_serve.out > BENCH_serve.json
-	@rm -f bench_parallel.out bench_serve.out
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryCache' -benchtime 20x . | tee bench_querycache.out
+	$(GO) run ./tools/benchjson < bench_querycache.out > BENCH_querycache.json
+	@rm -f bench_parallel.out bench_serve.out bench_querycache.out
 
 # serve-smoke boots the nettrailsd daemon on an ephemeral port and
 # drives /healthz and /query end to end (plus the churn/pinned-version
@@ -35,7 +52,7 @@ bench:
 serve-smoke:
 	$(GO) test -count=1 ./cmd/nettrailsd/
 
-ci: vet build race serve-smoke bench
+ci: fmt-check vet build race fuzz serve-smoke bench
 
 # clean removes scratch files only; BENCH_*.json are committed
 # trajectory artifacts and must survive a clean.

@@ -8,6 +8,7 @@ package nettrails_test
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -527,4 +528,122 @@ func BenchmarkEvalDeltaThroughput(b *testing.B) {
 		}
 		sys.Engine.RunQuiescent()
 	}
+}
+
+// BenchmarkQueryCache (E11): the serving-path win of the per-version
+// sub-proof cache. Repeated pinned-version queries against an immutable
+// snapshot skip re-traversal entirely:
+//   - cold:      a full provgraph traversal per query (Snapshot.Query)
+//   - warm:      the same query through the sub-proof cache
+//     (Snapshot.CachedQuery; everything after the first is a hit)
+//   - http-warm: the same through POST /query, i.e. cache win net of
+//     HTTP + JSON overhead
+//
+// Hit/miss counters are asserted so a silently dead cache fails the
+// benchmark instead of reporting fiction.
+func BenchmarkQueryCache(b *testing.B) {
+	side := 5
+	n := side * side
+	e, err := engine.New(nettrails.MinCost, nettrails.NodeNames(n), engine.Options{
+		Seed: 1, Provenance: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ed := range protocols.GridTopology(side, side, 1) {
+		if err := e.AddBiLink(ed.A, ed.B, ed.Cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.RunQuiescent()
+	pub, err := server.NewPublisher(e, server.DefaultRetain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := pub.Current()
+	// Corner-to-corner lineage: the most expensive query type over the
+	// longest derivation chains the grid offers.
+	mc := nettrails.Tuple("mincost",
+		nettrails.Addr("n1"), nettrails.Addr(protocols.NodeName(n)), nettrails.Int(int64(2*(side-1))))
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.Query(provquery.Lineage, "n1", mc, provquery.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			res, hit, err := snap.CachedQuery(provquery.Lineage, "n1", mc, provquery.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if hit {
+				hits++
+			}
+			if res.Root == nil {
+				b.Fatal("no proof")
+			}
+		}
+		if b.N > 1 && hits == 0 {
+			b.Fatal("sub-proof cache never hit")
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+	})
+
+	// The HTTP pair uses count queries: their responses are a few bytes,
+	// so the comparison isolates traversal-vs-cache on the serving path
+	// instead of measuring JSON serialization of a big proof tree.
+	ts := httptest.NewServer(server.New(pub, server.Info{Protocol: "mincost"}))
+	defer ts.Close()
+	postQuery := func(b *testing.B, body string, wantCache string) {
+		b.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cache"); wantCache != "" && got != wantCache {
+			b.Fatalf("X-Cache = %s, want %s", got, wantCache)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	tupleLit := fmt.Sprintf("mincost(@'n1','%s',%d)", protocols.NodeName(n), 2*(side-1))
+
+	// coldKey never repeats, not even across the growing b.N reruns a
+	// benchmark makes.
+	coldKey := 1000000
+	b.Run("http-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A distinct (never-pruning) threshold per request gives each
+			// its own cache key: every query is a full traversal, like a
+			// server without the sub-proof cache.
+			coldKey++
+			body := fmt.Sprintf(`{"type":"count","tuple":"%s","version":%d,"options":{"threshold":%d}}`,
+				tupleLit, snap.Version, coldKey)
+			postQuery(b, body, "MISS")
+		}
+	})
+
+	b.Run("http-warm", func(b *testing.B) {
+		body := fmt.Sprintf(`{"type":"count","tuple":"%s","version":%d}`, tupleLit, snap.Version)
+		startHits, _ := snap.CacheCounters()
+		want := ""
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			postQuery(b, body, want)
+			want = "HIT" // everything after the first request must hit
+		}
+		b.StopTimer()
+		// Delta, not the cumulative counter: the snapshot's cache is
+		// shared with the other sub-benchmarks and earlier b.N reruns.
+		hits, _ := snap.CacheCounters()
+		b.ReportMetric(float64(hits-startHits)/float64(b.N), "hits/op")
+	})
 }

@@ -182,6 +182,9 @@ func printResult(res *provquery.Result) {
 		if res.Pruned {
 			fmt.Print(" (pruned)")
 		}
+		if res.Truncated {
+			fmt.Print(" (truncated: lower bound)")
+		}
 		fmt.Println()
 	}
 	fmt.Printf("query cost: %d messages, %d bytes, %dus latency, %d cache hits\n",

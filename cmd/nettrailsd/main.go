@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +49,9 @@ func main() {
 	parallelism := flag.Int("parallelism", runtime.NumCPU(), "epoch-scheduler workers (<=1 serial, results identical)")
 	churn := flag.Duration("churn", 200*time.Millisecond, "wall-clock interval between link flaps keeping the simulation advancing (0 disables)")
 	retain := flag.Int("retain", server.DefaultRetain, "how many recent snapshot versions stay pinnable")
+	drain := flag.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight HTTP queries to finish")
+	maxDepth := flag.Int("maxdepth", 0, "cap the proof depth of every served query (0 = uncapped)")
+	maxNodes := flag.Int("maxnodes", 0, "cap the proof vertices of every served query (0 = uncapped)")
 	flag.Parse()
 
 	programs := map[string]string{
@@ -98,7 +102,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	srv := server.New(pub, server.Info{Protocol: *protocol})
+	srv := server.New(pub, server.Info{
+		Protocol: *protocol,
+		MaxDepth: *maxDepth,
+		MaxNodes: *maxNodes,
+	})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -108,19 +116,20 @@ func main() {
 	fmt.Printf("nettrailsd: listening on http://%s (protocol=%s nodes=%d links=%d version=%d)\n",
 		ln.Addr(), *protocol, n, len(edges), snap.Version)
 
-	// The simulation thread: from here on, only this goroutine touches
-	// the engine. It keeps virtual time (and snapshot versions) moving
-	// by flapping one topology link per tick; every epoch inside each
-	// flap publishes a fresh consistent snapshot for the HTTP readers.
+	// The churn goroutine is the simulation thread: from here on, only
+	// it touches the engine. It keeps virtual time (and snapshot
+	// versions) moving by flapping one topology link per tick; every
+	// epoch inside each flap publishes a fresh consistent snapshot for
+	// the HTTP readers. churnDone signals that the goroutine has fully
+	// stopped — never mid-epoch — so shutdown tears nothing out from
+	// under a running flap.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	stop := make(chan struct{})
-	go func() {
-		<-sigs
-		close(stop) // fan the shutdown out to churn loop and listener
-	}()
+	churnDone := make(chan struct{})
 	if *churn > 0 && len(edges) > 0 {
 		go func() {
+			defer close(churnDone)
 			tick := time.NewTicker(*churn)
 			defer tick.Stop()
 			for i := 0; ; i++ {
@@ -138,15 +147,40 @@ func main() {
 				}
 			}
 		}()
+	} else {
+		close(churnDone)
 	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	go func() {
-		<-stop
-		ln.Close()
-	}()
-	if err := httpSrv.Serve(ln); err != nil &&
-		err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
-		fail("%v", err)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+			fail("%v", err)
+		}
+	case sig := <-sigs:
+		// Graceful shutdown: stop the churn loop at an epoch boundary,
+		// then drain in-flight HTTP queries before exiting. A second
+		// signal aborts the drain.
+		fmt.Printf("nettrailsd: %s: shutting down (draining for up to %s)\n", sig, *drain)
+		close(stop)
+		<-churnDone
+		pub.Detach()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		go func() {
+			<-sigs
+			cancel()
+		}()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			cancel()
+			fail("shutdown: %v", err)
+		}
+		cancel()
+		if err := <-serveErr; err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+			fail("%v", err)
+		}
 	}
+	fmt.Println("nettrailsd: stopped")
 }

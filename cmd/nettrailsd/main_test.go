@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -25,8 +26,10 @@ func buildBinary(t *testing.T) string {
 }
 
 // startDaemon launches nettrailsd on an ephemeral port and returns its
-// base URL, leaving the process running until test cleanup.
-func startDaemon(t *testing.T, args ...string) string {
+// base URL plus the running process (for signal-driven tests), leaving
+// the process running until test cleanup. The daemon's remaining output
+// accumulates in the returned buffer.
+func startDaemon(t *testing.T, args ...string) (string, *exec.Cmd, *syncBuffer) {
 	t.Helper()
 	bin := buildBinary(t)
 	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
@@ -45,28 +48,59 @@ func startDaemon(t *testing.T, args ...string) string {
 	sc := bufio.NewScanner(stdout)
 	deadline := time.After(30 * time.Second)
 	urlCh := make(chan string, 1)
+	out := &syncBuffer{eof: make(chan struct{})}
 	go func() {
+		// The loop ends at EOF, i.e. when the daemon exits and the pipe's
+		// write end closes — after every line it ever printed is read.
+		defer close(out.eof)
+		found := false
 		for sc.Scan() {
 			line := sc.Text()
-			if i := strings.Index(line, "listening on "); i >= 0 {
+			out.append(line)
+			if i := strings.Index(line, "listening on "); i >= 0 && !found {
+				found = true
 				urlCh <- strings.Fields(line[i+len("listening on "):])[0]
-				return
 			}
 		}
 	}()
 	select {
 	case url := <-urlCh:
-		return url
+		return url, cmd, out
 	case <-deadline:
 		t.Fatal("daemon never reported its listen address")
-		return ""
+		return "", nil, nil
 	}
+}
+
+// syncBuffer collects daemon output across goroutines; eof closes once
+// every line the daemon ever printed has been collected.
+type syncBuffer struct {
+	mu    sync.Mutex
+	lines []string
+	eof   chan struct{}
+}
+
+func (b *syncBuffer) append(line string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lines = append(b.lines, line)
+}
+
+func (b *syncBuffer) contains(sub string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, l := range b.lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
 }
 
 // TestSmokeHealthzAndQuery boots the daemon on the quickstart scenario
 // (MINCOST, 3-node line) and drives the two core endpoints.
 func TestSmokeHealthzAndQuery(t *testing.T) {
-	url := startDaemon(t, "-protocol", "mincost", "-topology", "line", "-nodes", "3")
+	url, _, _ := startDaemon(t, "-protocol", "mincost", "-topology", "line", "-nodes", "3")
 
 	resp, err := http.Get(url + "/healthz")
 	if err != nil {
@@ -111,7 +145,7 @@ func TestSmokeHealthzAndQuery(t *testing.T) {
 // end to end: churn advances snapshot versions while concurrent
 // version-pinned queries stay byte-identical.
 func TestSmokeChurnAdvancesVersionsAndPinnedReadsAgree(t *testing.T) {
-	url := startDaemon(t, "-protocol", "mincost", "-topology", "ring", "-nodes", "4",
+	url, _, _ := startDaemon(t, "-protocol", "mincost", "-topology", "ring", "-nodes", "4",
 		"-churn", "30ms")
 
 	version := func() uint64 {
@@ -167,5 +201,44 @@ func TestSmokeChurnAdvancesVersionsAndPinnedReadsAgree(t *testing.T) {
 	if codes[0] != codes[1] || !bytes.Equal(replies[0], replies[1]) {
 		t.Fatalf("pinned reads diverged:\n%d %s\nvs\n%d %s",
 			codes[0], replies[0], codes[1], replies[1])
+	}
+}
+
+// TestGracefulShutdown sends SIGTERM to a churning daemon and requires
+// a clean exit: the churn loop stops at an epoch boundary, in-flight
+// queries drain through http.Server.Shutdown, and the process reports
+// "stopped" with exit status 0 instead of dying mid-epoch.
+func TestGracefulShutdown(t *testing.T) {
+	url, cmd, out := startDaemon(t, "-protocol", "mincost", "-topology", "ring", "-nodes", "4",
+		"-churn", "20ms", "-drain", "10s")
+
+	// Make sure the daemon is really serving (and churning) first.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	time.Sleep(60 * time.Millisecond) // let at least one churn tick land
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for output EOF first: the daemon exiting closes the pipe's
+	// write end, and only then is calling Wait (which closes the read
+	// end) free of losing the final lines.
+	select {
+	case <-out.eof:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+	}
+	if !out.contains("shutting down") || !out.contains("nettrailsd: stopped") {
+		t.Fatalf("missing shutdown messages in output: %v", out.lines)
+	}
+	// The listener must actually be gone.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after clean exit")
 	}
 }

@@ -1,0 +1,43 @@
+package ndlog
+
+import "testing"
+
+// FuzzParse hammers the NDlog lexer/parser with arbitrary input. The
+// invariant is crash-freedom: Parse, String, and a re-parse of the
+// printed form never panic. No stronger round-trip property is
+// asserted here because String renders display form, not source form —
+// e.g. the address literal '00' prints unquoted as 00, which re-reads
+// as the integer 0. (Print/re-parse round-tripping is promised only
+// for rule programs; roundtrip_test.go covers it on the curated
+// corpus.)
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		mincostSrc,
+		`f1 link(@'n1','n2',3).`,
+		`path(@S,D) :- link(@S,D,_).`,
+		`f1 r(@'n1',-5,-2.5,[1,2,3]).`,
+		`r1 a(@S,X) :- b(@S,C), X := 1 + C * 2.`,
+		`r1 a(@S,X) :- b(@S,C), X := (1 + C) * 2.`,
+		`r1 a(@S) :- b(@S,C), C * 2 < 10.`,
+		`br1 outputRoute(@AS,R2,Prefix,Route2) ?- inputRoute(@AS,R1,Prefix,Route1), f_isExtend(Route2,Route1,AS) == 1.`,
+		`r1 a(@X,1,"s",'n1',2.5) :- b(@X,_), X != Y, C := 1+2*3. // c`,
+		`"a\nb\t\"q\""`,
+		`mc mincost(@S,D,min<C>) :- cost(@S,D,C).`,
+		"q x(@'a').",
+		"",
+		"(",
+		"r1 a(@S) :- .",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil || prog == nil {
+			return
+		}
+		printed := prog.String()
+		if prog2, err := Parse(printed); err == nil && prog2 != nil {
+			_ = prog2.String()
+		}
+	})
+}

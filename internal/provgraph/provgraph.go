@@ -1,0 +1,331 @@
+// Package provgraph is the single traversal core of the provenance
+// query engine: one recursive graph-walk over the distributed
+// provenance graph G(V,E), shared by every evaluation mode. The walk is
+// written in continuation-passing style and parameterized by a Source,
+// so the same merge/cycle/threshold/limit logic serves
+//
+//   - the live distributed traversal (internal/provquery.Client), where
+//     cross-node expansions become request/response messages over the
+//     simulated network and continuations fire on message delivery, and
+//   - the snapshot traversal (internal/provquery.SnapshotClient), where
+//     continuations fire synchronously against frozen partition views
+//     and the network cost is modeled instead of measured.
+//
+// Query features — new query types, traversal limits, caching — are
+// implemented here exactly once and inherited by both adapters.
+package provgraph
+
+import (
+	"sort"
+
+	"repro/internal/rel"
+	"repro/internal/simnet"
+)
+
+// QueryType selects what the traversal computes.
+type QueryType int
+
+// Query types offered by the demonstration.
+const (
+	// Lineage returns the full proof tree of a tuple.
+	Lineage QueryType = iota
+	// BaseTuples returns the set of base tuples the result depends on.
+	BaseTuples
+	// Nodes returns the set of nodes that participated in any
+	// derivation of the tuple.
+	Nodes
+	// DerivCount returns the total number of alternative proof trees.
+	DerivCount
+)
+
+func (t QueryType) String() string {
+	switch t {
+	case Lineage:
+		return "lineage"
+	case BaseTuples:
+		return "base-tuples"
+	case Nodes:
+		return "nodes"
+	case DerivCount:
+		return "deriv-count"
+	}
+	return "unknown"
+}
+
+// Options tunes a query.
+type Options struct {
+	// UseCache reuses previously computed sub-results at each node
+	// (invalidated whenever the node's provenance partition changes).
+	// Ignored while MaxDepth or MaxNodes is set: limit-truncated
+	// sub-results depend on where in the walk they were computed and
+	// must not be reused.
+	UseCache bool
+	// Threshold, when > 0, bounds the number of alternative derivations
+	// explored per tuple; results are then lower bounds marked Pruned.
+	Threshold int
+	// Sequential explores children one at a time (DFS order) instead of
+	// issuing all sub-queries concurrently (BFS). Message counts match;
+	// latency differs.
+	Sequential bool
+	// MaxDepth, when > 0, bounds the derivation chain: tuples MaxDepth
+	// or more levels below the queried tuple are returned unexpanded
+	// and marked Truncated (MaxDepth 1 expands only the root). Depth is
+	// a property of the path, so the truncation frontier is identical
+	// in every evaluation mode.
+	MaxDepth int
+	// MaxNodes, when > 0, bounds the total number of tuple vertices the
+	// walk resolves; once the budget is spent, further vertices are
+	// returned unexpanded and marked Truncated. The budget is consumed
+	// in visit order: with Sequential (DFS) the frontier is identical
+	// across evaluation modes, while concurrent (BFS) order may place
+	// it differently live vs. snapshot.
+	MaxNodes int
+}
+
+// Limited reports whether any traversal limit is set.
+func (o Options) Limited() bool { return o.MaxDepth > 0 || o.MaxNodes > 0 }
+
+// TupleAt is a tuple together with its home node.
+type TupleAt struct {
+	Tuple rel.Tuple
+	Loc   string
+}
+
+// ProofDeriv is one derivation step in a proof tree.
+type ProofDeriv struct {
+	RID      rel.ID
+	Rule     string
+	RLoc     string
+	Children []*ProofNode
+}
+
+// ProofNode is one tuple vertex in a proof tree.
+type ProofNode struct {
+	VID       rel.ID
+	Tuple     rel.Tuple
+	Loc       string
+	Base      bool
+	Cycle     bool // traversal met this tuple again on its own path
+	Pruned    bool // some derivations were not explored (threshold)
+	Truncated bool // expansion stopped by maxdepth/maxnodes
+	Derivs    []*ProofDeriv
+}
+
+// Size counts the tuple vertices in the proof tree.
+func (p *ProofNode) Size() int {
+	n := 1
+	for _, d := range p.Derivs {
+		for _, c := range d.Children {
+			n += c.Size()
+		}
+	}
+	return n
+}
+
+// Depth returns the longest derivation chain length.
+func (p *ProofNode) Depth() int {
+	max := 0
+	for _, d := range p.Derivs {
+		for _, c := range d.Children {
+			if d := c.Depth(); d > max {
+				max = d
+			}
+		}
+	}
+	return max + 1
+}
+
+// Stats reports a query's cost.
+type Stats struct {
+	Messages int
+	Bytes    int
+	Latency  simnet.Time
+	// CacheHits counts sub-results served from per-node caches during
+	// the traversal itself (Options.UseCache on the live path).
+	CacheHits int
+	// SubProofHits / SubProofMisses report the serving-layer sub-proof
+	// cache counters observed when this result was produced (set by
+	// internal/server when answering from a pinned snapshot; zero on
+	// direct traversals).
+	SubProofHits   int
+	SubProofMisses int
+}
+
+// Result is a completed query.
+type Result struct {
+	Type      QueryType
+	Root      *ProofNode // Lineage
+	Bases     []TupleAt  // BaseTuples
+	Nodes     []string   // Nodes
+	Count     int        // DerivCount
+	Pruned    bool
+	Truncated bool
+	Stats     Stats
+}
+
+// SubResult is the partial result a walk accumulates per subtree; on
+// the live path it is what travels between nodes.
+type SubResult struct {
+	Node      *ProofNode
+	Bases     []TupleAt
+	Nodes     map[string]bool
+	Count     int
+	Pruned    bool
+	Truncated bool
+}
+
+// NewResult assembles a finished Result from the root sub-result.
+// Stats are left zero: each adapter fills in its own cost measurement
+// (measured traffic live, modeled traffic on snapshots).
+func NewResult(typ QueryType, out SubResult) *Result {
+	res := &Result{Type: typ, Pruned: out.Pruned, Truncated: out.Truncated}
+	switch typ {
+	case Lineage:
+		res.Root = out.Node
+	case BaseTuples:
+		res.Bases = DedupBases(out.Bases)
+	case Nodes:
+		for n := range out.Nodes {
+			res.Nodes = append(res.Nodes, n)
+		}
+		sort.Strings(res.Nodes)
+	case DerivCount:
+		res.Count = out.Count
+	}
+	return res
+}
+
+// DedupBases drops duplicate base tuples and sorts deterministically.
+func DedupBases(in []TupleAt) []TupleAt {
+	seen := map[rel.ID]bool{}
+	var out []TupleAt
+	for _, b := range in {
+		vid := b.Tuple.VID()
+		if !seen[vid] {
+			seen[vid] = true
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// CycleResult is the sub-result for a tuple the walk met again on its
+// own derivation path: a leaf marked Cycle contributing no derivations.
+func CycleResult(vid rel.ID, tuple rel.Tuple, loc string) SubResult {
+	return SubResult{
+		Node:  &ProofNode{VID: vid, Tuple: tuple, Loc: loc, Cycle: true},
+		Nodes: map[string]bool{loc: true},
+		Count: 0,
+	}
+}
+
+// MissingResult is the sub-result for an id with no provenance at loc.
+func MissingResult(id rel.ID, loc string) SubResult {
+	return SubResult{
+		Node:  &ProofNode{VID: id, Loc: loc},
+		Nodes: map[string]bool{loc: true},
+		Count: 0,
+	}
+}
+
+// TruncatedResult is the sub-result for a tuple the walk refused to
+// expand because a traversal limit (maxdepth/maxnodes) was reached.
+func TruncatedResult(vid rel.ID, tuple rel.Tuple, loc string) SubResult {
+	return SubResult{
+		Node:      &ProofNode{VID: vid, Tuple: tuple, Loc: loc, Truncated: true},
+		Nodes:     map[string]bool{loc: true},
+		Count:     0,
+		Truncated: true,
+	}
+}
+
+// MergeInto folds a derivation-level result into a tuple-level result.
+func MergeInto(acc *SubResult, r SubResult) {
+	if r.Node != nil && acc.Node != nil {
+		acc.Node.Derivs = append(acc.Node.Derivs, r.Node.Derivs...)
+	}
+	acc.Bases = append(acc.Bases, r.Bases...)
+	for n := range r.Nodes {
+		acc.Nodes[n] = true
+	}
+	acc.Count += r.Count
+	acc.Pruned = acc.Pruned || r.Pruned
+	acc.Truncated = acc.Truncated || r.Truncated
+}
+
+// Thunk is a deferred sub-query: invoked, it eventually calls cont with
+// its sub-result (immediately on snapshots, on message delivery live).
+type Thunk func(cont func(SubResult))
+
+// RunAll executes thunks either concurrently (all issued before any
+// completion) or sequentially (each issued from the previous one's
+// continuation), then calls done with results in order.
+func RunAll(thunks []Thunk, sequential bool, done func([]SubResult)) {
+	n := len(thunks)
+	if n == 0 {
+		done(nil)
+		return
+	}
+	results := make([]SubResult, n)
+	if sequential {
+		var step func(i int)
+		step = func(i int) {
+			if i == n {
+				done(results)
+				return
+			}
+			thunks[i](func(r SubResult) {
+				results[i] = r
+				step(i + 1)
+			})
+		}
+		step(0)
+		return
+	}
+	remaining := n
+	for i, th := range thunks {
+		i := i
+		th(func(r SubResult) {
+			results[i] = r
+			remaining--
+			if remaining == 0 {
+				done(results)
+			}
+		})
+	}
+}
+
+// RequestSize approximates the wire size of a query request carrying a
+// visited path of the given length.
+func RequestSize(visited int) int { return 64 + 20*visited }
+
+// ResponseSize approximates the wire size of a sub-result by type:
+// lineage ships tree structure, base-tuples ships tuples, nodes ships
+// addresses, counts ship integers. This is what makes the cheaper query
+// types measurably cheaper, as in ExSPAN.
+func ResponseSize(typ QueryType, r SubResult) int {
+	switch typ {
+	case Lineage:
+		n := 0
+		if r.Node != nil {
+			for _, d := range r.Node.Derivs {
+				for _, c := range d.Children {
+					n += c.Size()
+				}
+			}
+		}
+		return 48 + 96*n
+	case BaseTuples:
+		n := 48
+		for _, b := range r.Bases {
+			n += len(rel.MarshalTuple(b.Tuple)) + 8
+		}
+		return n
+	case Nodes:
+		return 48 + 16*len(r.Nodes)
+	case DerivCount:
+		return 56
+	}
+	return 48
+}

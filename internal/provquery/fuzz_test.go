@@ -1,0 +1,40 @@
+package provquery
+
+import "testing"
+
+// FuzzParseQuery hammers the provenance query-language parser (and,
+// through its tuple literals, the NDlog fact parser) with arbitrary
+// input. The invariants are: ParseQuery never panics, an accepted
+// query always resolves a target node, and rendering its tuple never
+// panics. (The rendered tuple is display form, not source form, so it
+// is not asserted to re-parse.)
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"lineage of mincost(@'n1','n3',2)",
+		"bases   of mincost(@'n1','n3',2) at 'n1'",
+		`nodes   of routeEntry(@'AS3',"10.0.0.0/24")`,
+		"count   of mincost(@'n1','n4',2) with cache, threshold 2, dfs",
+		"lineage of mincost(@'n1','n9',4) with maxdepth 3, maxnodes 50",
+		"count of x(@'a') with dfs, bfs",
+		`nodes of routeEntry(@'AS3',"10.0.0.0/24 (test)")`,
+		"baseTuples of link(@'a','b',1)",
+		"derivations of link(@'a','b',1) at n2",
+		"lineage of x(@'a'",
+		"lineage of x(X)",
+		"lineage of x(@'a') with threshold 0",
+		"",
+		"lineage of",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		if q.At == "" {
+			t.Fatalf("accepted query %q has no target node", src)
+		}
+		_ = q.Tuple.String()
+	})
+}

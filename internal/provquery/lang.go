@@ -17,6 +17,7 @@ import (
 //	bases   of mincost(@'n1','n3',2) at 'n1'
 //	nodes   of routeEntry(@'AS3',"10.0.0.0/24")
 //	count   of mincost(@'n1','n4',2) with cache, threshold 2, dfs
+//	lineage of mincost(@'n1','n9',4) with maxdepth 3, maxnodes 50
 //
 // Grammar:
 //
@@ -24,6 +25,11 @@ import (
 //	type    := "lineage" | "bases" | "nodes" | "count"
 //	tuple   := NDlog fact literal (addresses in single quotes)
 //	opt     := "cache" | "dfs" | "threshold" INT
+//	         | "maxdepth" INT | "maxnodes" INT
+//
+// maxdepth bounds the derivation chain below the queried tuple;
+// maxnodes bounds the total tuple vertices resolved. Either limit
+// leaves unexplored structure marked Truncated in the result.
 
 // ParsedQuery is the outcome of ParseQuery.
 type ParsedQuery struct {
@@ -132,11 +138,11 @@ func ParseQuery(src string) (*ParsedQuery, error) {
 		}
 	}
 	if q.At == "" {
-		if loc, ok := q.Tuple.LocCol0(); ok {
-			q.At = loc
-		} else {
+		loc, ok := q.Tuple.LocCol0()
+		if !ok || loc == "" {
 			return nil, fmt.Errorf("provquery: tuple has no location attribute; add 'at NODE'")
 		}
+		q.At = loc
 	}
 	return q, nil
 }
@@ -168,19 +174,40 @@ func parseOpts(s string) (Options, error) {
 		case "bfs", "parallel":
 			o.Sequential = false
 		case "threshold", "prune":
-			if len(fields) != 2 {
-				return o, fmt.Errorf("provquery: threshold needs a value")
-			}
-			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 1 {
-				return o, fmt.Errorf("provquery: bad threshold %q", fields[1])
+			n, err := optInt("threshold", fields)
+			if err != nil {
+				return o, err
 			}
 			o.Threshold = n
+		case "maxdepth", "max-depth":
+			n, err := optInt("maxdepth", fields)
+			if err != nil {
+				return o, err
+			}
+			o.MaxDepth = n
+		case "maxnodes", "max-nodes":
+			n, err := optInt("maxnodes", fields)
+			if err != nil {
+				return o, err
+			}
+			o.MaxNodes = n
 		default:
 			return o, fmt.Errorf("provquery: unknown option %q", fields[0])
 		}
 	}
 	return o, nil
+}
+
+// optInt parses the single positive integer argument of an option.
+func optInt(name string, fields []string) (int, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("provquery: %s needs a value", name)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("provquery: bad %s %q", name, fields[1])
+	}
+	return n, nil
 }
 
 // ParseTupleLiteral parses an NDlog fact literal such as
@@ -189,6 +216,11 @@ func parseOpts(s string) (Options, error) {
 func ParseTupleLiteral(src string) (rel.Tuple, error) { return parseTupleLiteral(src) }
 
 func parseTupleLiteral(src string) (rel.Tuple, error) {
+	// The literal must name its relation: without this check an input
+	// like ('x') would parse as a fact of the synthetic label below.
+	if i := strings.IndexByte(src, '('); i <= 0 || strings.TrimSpace(src[:i]) == "" {
+		return rel.Tuple{}, fmt.Errorf("provquery: %q is not a fact literal", src)
+	}
 	prog, err := ndlog.Parse("q " + src + ".")
 	if err != nil {
 		return rel.Tuple{}, fmt.Errorf("provquery: bad tuple literal %q: %v", src, err)

@@ -59,6 +59,26 @@ func TestParseQueryAtAndOptions(t *testing.T) {
 	}
 }
 
+func TestParseQueryTraversalLimits(t *testing.T) {
+	q, err := ParseQuery("lineage of mincost(@'n1','n9',4) with maxdepth 3, maxnodes 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Opts.MaxDepth != 3 || q.Opts.MaxNodes != 50 {
+		t.Fatalf("opts = %+v", q.Opts)
+	}
+	for _, src := range []string{
+		"lineage of x(@'a') with maxdepth",
+		"lineage of x(@'a') with maxdepth 0",
+		"lineage of x(@'a') with maxdepth -1",
+		"lineage of x(@'a') with maxnodes many",
+	} {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}
+
 func TestParseQueryStringsWithParens(t *testing.T) {
 	q, err := ParseQuery(`nodes of routeEntry(@'AS3',"10.0.0.0/24 (test)")`)
 	if err != nil {
@@ -84,6 +104,9 @@ func TestParseQueryErrors(t *testing.T) {
 		"lineage of x(@'a') with threshold 0",
 		"lineage of x(X)",
 		`lineage of x("a")`,
+		"lineage of ('a')",   // fact literal without a relation name
+		"lineage of x(@'')",  // empty location resolves to no node
+		"lineage of  (@'a')", // leading paren, no relation
 	}
 	for _, src := range bad {
 		if _, err := ParseQuery(src); err == nil {

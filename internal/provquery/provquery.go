@@ -5,145 +5,55 @@
 // contributing base tuples, the set of participating nodes, and the
 // total number of alternative derivations — together with the
 // optimizations the demo highlights: caching of previously queried
-// results, alternative traversal orders (parallel vs. sequential), and
-// threshold-based pruning.
+// results, alternative traversal orders (parallel vs. sequential),
+// threshold-based pruning, and uniform traversal limits.
 //
-// Queries execute as messages over the same simulated network as the
-// protocols themselves, so the traffic reductions from the
-// optimizations are directly measurable.
+// The traversal itself — merge, cycle detection, pruning, limits —
+// lives in internal/provgraph as a single continuation-passing walk
+// over a Source. This package provides its two faces: the live Client,
+// whose queries execute as messages over the same simulated network as
+// the protocols themselves (so the traffic reductions from the
+// optimizations are directly measurable), and the SnapshotClient in
+// snapshot.go, which evaluates against frozen partition views.
 package provquery
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/provenance"
+	"repro/internal/provgraph"
 	"repro/internal/rel"
 	"repro/internal/simnet"
 )
 
-// QueryType selects what the traversal computes.
-type QueryType int
+// The query vocabulary is defined once in internal/provgraph and
+// re-exported here so existing callers (server, viz, cmd, facade) keep
+// one import.
+type (
+	// QueryType selects what the traversal computes.
+	QueryType = provgraph.QueryType
+	// Options tunes a query.
+	Options = provgraph.Options
+	// TupleAt is a tuple together with its home node.
+	TupleAt = provgraph.TupleAt
+	// ProofDeriv is one derivation step in a proof tree.
+	ProofDeriv = provgraph.ProofDeriv
+	// ProofNode is one tuple vertex in a proof tree.
+	ProofNode = provgraph.ProofNode
+	// Stats reports a query's cost.
+	Stats = provgraph.Stats
+	// Result is a completed query.
+	Result = provgraph.Result
+)
 
 // Query types offered by the demonstration.
 const (
-	// Lineage returns the full proof tree of a tuple.
-	Lineage QueryType = iota
-	// BaseTuples returns the set of base tuples the result depends on.
-	BaseTuples
-	// Nodes returns the set of nodes that participated in any
-	// derivation of the tuple.
-	Nodes
-	// DerivCount returns the total number of alternative proof trees.
-	DerivCount
+	Lineage    = provgraph.Lineage
+	BaseTuples = provgraph.BaseTuples
+	Nodes      = provgraph.Nodes
+	DerivCount = provgraph.DerivCount
 )
-
-func (t QueryType) String() string {
-	switch t {
-	case Lineage:
-		return "lineage"
-	case BaseTuples:
-		return "base-tuples"
-	case Nodes:
-		return "nodes"
-	case DerivCount:
-		return "deriv-count"
-	}
-	return "unknown"
-}
-
-// Options tunes a query.
-type Options struct {
-	// UseCache reuses previously computed sub-results at each node
-	// (invalidated whenever the node's provenance partition changes).
-	UseCache bool
-	// Threshold, when > 0, bounds the number of alternative derivations
-	// explored per tuple; results are then lower bounds marked Pruned.
-	Threshold int
-	// Sequential explores children one at a time (DFS order) instead of
-	// issuing all sub-queries concurrently (BFS). Message counts match;
-	// latency differs.
-	Sequential bool
-}
-
-// TupleAt is a tuple together with its home node.
-type TupleAt struct {
-	Tuple rel.Tuple
-	Loc   string
-}
-
-// ProofDeriv is one derivation step in a proof tree.
-type ProofDeriv struct {
-	RID      rel.ID
-	Rule     string
-	RLoc     string
-	Children []*ProofNode
-}
-
-// ProofNode is one tuple vertex in a proof tree.
-type ProofNode struct {
-	VID    rel.ID
-	Tuple  rel.Tuple
-	Loc    string
-	Base   bool
-	Cycle  bool // traversal met this tuple again on its own path
-	Pruned bool // some derivations were not explored (threshold)
-	Derivs []*ProofDeriv
-}
-
-// Size counts the tuple vertices in the proof tree.
-func (p *ProofNode) Size() int {
-	n := 1
-	for _, d := range p.Derivs {
-		for _, c := range d.Children {
-			n += c.Size()
-		}
-	}
-	return n
-}
-
-// Depth returns the longest derivation chain length.
-func (p *ProofNode) Depth() int {
-	max := 0
-	for _, d := range p.Derivs {
-		for _, c := range d.Children {
-			if d := c.Depth(); d > max {
-				max = d
-			}
-		}
-	}
-	return max + 1
-}
-
-// Stats reports a query's cost.
-type Stats struct {
-	Messages int
-	Bytes    int
-	Latency  simnet.Time
-	// CacheHits counts sub-results served from node caches.
-	CacheHits int
-}
-
-// Result is a completed query.
-type Result struct {
-	Type   QueryType
-	Root   *ProofNode // Lineage
-	Bases  []TupleAt  // BaseTuples
-	Nodes  []string   // Nodes
-	Count  int        // DerivCount
-	Pruned bool
-	Stats  Stats
-}
-
-// subResult travels between nodes during traversal.
-type subResult struct {
-	Node   *ProofNode
-	Bases  []TupleAt
-	Nodes  map[string]bool
-	Count  int
-	Pruned bool
-}
 
 // MsgKind is the simnet message kind used by query traffic.
 const MsgKind = "provquery"
@@ -159,7 +69,7 @@ type request struct {
 
 type response struct {
 	qid uint64
-	res subResult
+	res provgraph.SubResult
 }
 
 // Service handles query traffic at one node.
@@ -169,25 +79,26 @@ type Service struct {
 	net     *simnet.Network
 	client  *Client
 	nextQID uint64
-	pending map[uint64]func(subResult)
-	cache   map[cacheKey]*cacheVal
-}
-
-type cacheKey struct {
-	vid       rel.ID
-	typ       QueryType
-	threshold int
+	pending map[uint64]func(provgraph.SubResult)
+	cache   map[provgraph.CacheKey]*cacheVal
 }
 
 type cacheVal struct {
-	res     subResult
+	res     provgraph.SubResult
 	version uint64
 }
 
-// Client coordinates queries over an engine's nodes.
+// Client coordinates queries over an engine's nodes. It is the live
+// asynchronous adapter of the provgraph walk: cross-node expansions
+// travel as request/response messages over the simulated network, and
+// the walk's continuations fire on message delivery.
 type Client struct {
 	eng      *engine.Engine
 	services map[string]*Service
+	// walk is the active traversal; queries run one at a time on the
+	// simulation thread, so every service handling a message belongs to
+	// the same walk.
+	walk *provgraph.Walk
 	// cacheHits accumulates across the most recent query.
 	cacheHits int
 }
@@ -205,8 +116,8 @@ func Attach(eng *engine.Engine) (*Client, error) {
 			store:   n.Prov,
 			net:     eng.Net,
 			client:  c,
-			pending: map[uint64]func(subResult){},
-			cache:   map[cacheKey]*cacheVal{},
+			pending: map[uint64]func(provgraph.SubResult){},
+			cache:   map[provgraph.CacheKey]*cacheVal{},
 		}
 	}
 	err := eng.RegisterService(MsgKind, func(n *engine.Node, m simnet.Message) {
@@ -237,35 +148,22 @@ func (c *Client) Query(typ QueryType, at string, t rel.Tuple, opts Options) (*Re
 	startMsgs, startBytes, _ := kindTotals(c.eng.Net)
 	startTime := c.eng.Net.Now()
 
-	var out *subResult
-	svc.resolveTuple(vid, nil, typ, opts, func(r subResult) { out = &r })
+	w := provgraph.NewWalk(liveSource{c}, typ, opts)
+	c.walk = w
+	defer func() { c.walk = nil }()
+	var out *provgraph.SubResult
+	w.ResolveTuple(at, vid, nil, func(r provgraph.SubResult) { out = &r })
 	c.eng.Net.Run(0)
 	if out == nil {
 		return nil, fmt.Errorf("provquery: query for %s did not complete", t)
 	}
 	endMsgs, endBytes, _ := kindTotals(c.eng.Net)
-	res := &Result{
-		Type:   typ,
-		Pruned: out.Pruned,
-		Stats: Stats{
-			Messages:  endMsgs - startMsgs,
-			Bytes:     endBytes - startBytes,
-			Latency:   c.eng.Net.Now() - startTime,
-			CacheHits: c.cacheHits,
-		},
-	}
-	switch typ {
-	case Lineage:
-		res.Root = out.Node
-	case BaseTuples:
-		res.Bases = dedupBases(out.Bases)
-	case Nodes:
-		for n := range out.Nodes {
-			res.Nodes = append(res.Nodes, n)
-		}
-		sort.Strings(res.Nodes)
-	case DerivCount:
-		res.Count = out.Count
+	res := provgraph.NewResult(typ, *out)
+	res.Stats = Stats{
+		Messages:  endMsgs - startMsgs,
+		Bytes:     endBytes - startBytes,
+		Latency:   c.eng.Net.Now() - startTime,
+		CacheHits: c.cacheHits,
 	}
 	return res, nil
 }
@@ -275,25 +173,63 @@ func kindTotals(net *simnet.Network) (msgs, bytes, drops int) {
 	return k.Messages, k.Bytes, 0
 }
 
-func dedupBases(in []TupleAt) []TupleAt {
-	seen := map[rel.ID]bool{}
-	var out []TupleAt
-	for _, b := range in {
-		vid := b.Tuple.VID()
-		if !seen[vid] {
-			seen[vid] = true
-			out = append(out, b)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
-	return out
-}
-
 // InvalidateCaches clears every node's query cache (tests/benches).
 func (c *Client) InvalidateCaches() {
 	for _, svc := range c.services {
-		svc.cache = map[cacheKey]*cacheVal{}
+		svc.cache = map[provgraph.CacheKey]*cacheVal{}
 	}
+}
+
+// ---- the live Source ---------------------------------------------------
+
+// liveSource adapts the engine's per-node provenance stores to the
+// provgraph walk. Partition reads are only ever issued for the location
+// the walk is currently at — its own store in the distributed design —
+// and cross-node hops become real simnet messages.
+type liveSource struct{ c *Client }
+
+func (ls liveSource) TupleOf(loc string, vid rel.ID) (rel.Tuple, bool) {
+	return ls.c.services[loc].store.TupleOf(vid)
+}
+
+func (ls liveSource) Derivations(loc string, vid rel.ID) ([]provenance.Entry, bool) {
+	return ls.c.services[loc].store.Derivations(vid)
+}
+
+func (ls liveSource) Exec(loc string, rid rel.ID) (provenance.ExecEntry, bool) {
+	return ls.c.services[loc].store.Exec(rid)
+}
+
+// ExpandRemote sends the expansion request to the executing node; the
+// continuation is parked in the requesting service's pending table and
+// fires when the response message is delivered.
+func (ls liveSource) ExpandRemote(w *provgraph.Walk, from, loc string, rid rel.ID, visited []rel.ID, cont func(provgraph.SubResult)) {
+	s := ls.c.services[from]
+	qid := s.nextQIDFn()
+	s.pending[qid] = cont
+	req := request{qid: qid, typ: w.Type, opts: w.Opts, rid: rid, visited: visited, replyTo: s.addr}
+	s.net.Send(simnet.Message{
+		From:     s.addr,
+		To:       loc,
+		Kind:     MsgKind,
+		Reliable: true,
+		Payload:  req,
+		Size:     requestSize(req),
+	})
+}
+
+func (ls liveSource) CacheGet(loc string, key provgraph.CacheKey) (provgraph.SubResult, bool) {
+	s := ls.c.services[loc]
+	if cv, ok := s.cache[key]; ok && cv.version == s.store.Version() {
+		ls.c.cacheHits++
+		return cv.res, true
+	}
+	return provgraph.SubResult{}, false
+}
+
+func (ls liveSource) CachePut(loc string, key provgraph.CacheKey, res provgraph.SubResult) {
+	s := ls.c.services[loc]
+	s.cache[key] = &cacheVal{res: res, version: s.store.Version()}
 }
 
 // ---- service internals -------------------------------------------------
@@ -314,100 +250,18 @@ func (s *Service) handle(m simnet.Message) {
 	}
 }
 
-// resolveTuple computes the sub-result for a tuple stored at this node.
-func (s *Service) resolveTuple(vid rel.ID, visited []rel.ID, typ QueryType, opts Options, cont func(subResult)) {
-	for _, v := range visited {
-		if v == vid {
-			tuple, _ := s.store.TupleOf(vid)
-			cont(cycleResult(vid, tuple, s.addr, typ))
-			return
-		}
-	}
-	if opts.UseCache {
-		key := cacheKey{vid: vid, typ: typ, threshold: opts.Threshold}
-		if cv, ok := s.cache[key]; ok && cv.version == s.store.Version() {
-			s.client.cacheHits++
-			cont(cv.res)
-			return
-		}
-	}
-	tuple, ok := s.store.TupleOf(vid)
-	if !ok {
-		cont(missingResult(vid, s.addr, typ))
-		return
-	}
-	derivs, ok := s.store.Derivations(vid)
-	if !ok {
-		cont(missingResult(vid, s.addr, typ))
-		return
-	}
-	pruned := false
-	if opts.Threshold > 0 && len(derivs) > opts.Threshold {
-		derivs = derivs[:opts.Threshold]
-		pruned = true
-	}
-	node := &ProofNode{VID: vid, Tuple: tuple, Loc: s.addr, Pruned: pruned}
-	acc := subResult{
-		Node:   node,
-		Nodes:  map[string]bool{s.addr: true},
-		Pruned: pruned,
-	}
-	childVisited := append(append([]rel.ID(nil), visited...), vid)
-
-	var thunks []func(cont func(subResult))
-	for _, d := range derivs {
-		d := d
-		if d.RID.IsZero() {
-			node.Base = true
-			acc.Bases = append(acc.Bases, TupleAt{Tuple: tuple, Loc: s.addr})
-			acc.Count++
-			continue
-		}
-		thunks = append(thunks, func(cont func(subResult)) {
-			s.expandDeriv(d, childVisited, typ, opts, cont)
-		})
-	}
-	finish := func(results []subResult) {
-		for _, r := range results {
-			mergeInto(&acc, r)
-		}
-		if opts.UseCache {
-			key := cacheKey{vid: vid, typ: typ, threshold: opts.Threshold}
-			s.cache[key] = &cacheVal{res: acc, version: s.store.Version()}
-		}
-		cont(acc)
-	}
-	runAll(thunks, opts.Sequential, finish)
-}
-
-// expandDeriv resolves one derivation: locally when the rule executed
-// here, otherwise by querying the executing node.
-func (s *Service) expandDeriv(d provenance.Entry, visited []rel.ID, typ QueryType, opts Options, cont func(subResult)) {
-	if d.RLoc == s.addr {
-		s.expandExecLocal(d.RID, visited, typ, opts, cont)
-		return
-	}
-	qid := s.nextQIDFn()
-	s.pending[qid] = cont
-	req := request{qid: qid, typ: typ, opts: opts, rid: d.RID, visited: visited, replyTo: s.addr}
-	s.net.Send(simnet.Message{
-		From:     s.addr,
-		To:       d.RLoc,
-		Kind:     MsgKind,
-		Reliable: true,
-		Payload:  req,
-		Size:     requestSize(req),
-	})
-}
-
 func (s *Service) nextQIDFn() uint64 {
 	s.nextQID++
 	return s.nextQID
 }
 
-// expandExec handles a remote expansion request.
+// expandExec handles a remote expansion request by re-entering the
+// query's walk at this node. The request carries the query parameters a
+// real deployment would rebuild its walk from; in the simulation all
+// services share the client's single active walk (which also carries
+// the query-wide node budget).
 func (s *Service) expandExec(req request) {
-	s.expandExecLocal(req.rid, req.visited, req.typ, req.opts, func(r subResult) {
+	s.client.walk.ExpandExecLocal(s.addr, req.rid, req.visited, func(r provgraph.SubResult) {
 		resp := response{qid: req.qid, res: r}
 		s.net.Send(simnet.Message{
 			From:     s.addr,
@@ -420,140 +274,8 @@ func (s *Service) expandExec(req request) {
 	})
 }
 
-// expandExecLocal resolves a rule execution at this node: all its input
-// tuples are local; each is resolved (possibly recursing to other
-// nodes) and combined into a derivation-level result.
-func (s *Service) expandExecLocal(rid rel.ID, visited []rel.ID, typ QueryType, opts Options, cont func(subResult)) {
-	exec, ok := s.store.Exec(rid)
-	if !ok {
-		cont(missingResult(rid, s.addr, typ))
-		return
-	}
-	var thunks []func(cont func(subResult))
-	for _, vid := range exec.VIDs {
-		vid := vid
-		thunks = append(thunks, func(cont func(subResult)) {
-			s.resolveTuple(vid, visited, typ, opts, cont)
-		})
-	}
-	runAll(thunks, opts.Sequential, func(results []subResult) {
-		deriv := &ProofDeriv{RID: rid, Rule: exec.Rule, RLoc: s.addr}
-		out := subResult{
-			Nodes: map[string]bool{s.addr: true},
-			Count: 1,
-		}
-		for _, r := range results {
-			if r.Node != nil {
-				deriv.Children = append(deriv.Children, r.Node)
-			}
-			out.Bases = append(out.Bases, r.Bases...)
-			for n := range r.Nodes {
-				out.Nodes[n] = true
-			}
-			out.Count *= r.Count
-			out.Pruned = out.Pruned || r.Pruned
-		}
-		out.Node = &ProofNode{Derivs: []*ProofDeriv{deriv}} // carrier; merged by caller
-		cont(out)
-	})
-}
-
-// mergeInto folds a derivation-level result into a tuple-level result.
-func mergeInto(acc *subResult, r subResult) {
-	if r.Node != nil && acc.Node != nil {
-		acc.Node.Derivs = append(acc.Node.Derivs, r.Node.Derivs...)
-	}
-	acc.Bases = append(acc.Bases, r.Bases...)
-	for n := range r.Nodes {
-		acc.Nodes[n] = true
-	}
-	acc.Count += r.Count
-	acc.Pruned = acc.Pruned || r.Pruned
-}
-
-// runAll executes thunks either concurrently (all issued before any
-// completion) or sequentially (each issued from the previous one's
-// continuation), then calls done with results in order.
-func runAll(thunks []func(cont func(subResult)), sequential bool, done func([]subResult)) {
-	n := len(thunks)
-	if n == 0 {
-		done(nil)
-		return
-	}
-	results := make([]subResult, n)
-	if sequential {
-		var step func(i int)
-		step = func(i int) {
-			if i == n {
-				done(results)
-				return
-			}
-			thunks[i](func(r subResult) {
-				results[i] = r
-				step(i + 1)
-			})
-		}
-		step(0)
-		return
-	}
-	remaining := n
-	for i, th := range thunks {
-		i := i
-		th(func(r subResult) {
-			results[i] = r
-			remaining--
-			if remaining == 0 {
-				done(results)
-			}
-		})
-	}
-}
-
-func cycleResult(vid rel.ID, tuple rel.Tuple, loc string, typ QueryType) subResult {
-	return subResult{
-		Node:  &ProofNode{VID: vid, Tuple: tuple, Loc: loc, Cycle: true},
-		Nodes: map[string]bool{loc: true},
-		Count: 0,
-	}
-}
-
-func missingResult(id rel.ID, loc string, typ QueryType) subResult {
-	return subResult{
-		Node:  &ProofNode{VID: id, Loc: loc},
-		Nodes: map[string]bool{loc: true},
-		Count: 0,
-	}
-}
-
 // requestSize approximates the wire size of a query request.
-func requestSize(r request) int { return 64 + 20*len(r.visited) }
+func requestSize(r request) int { return provgraph.RequestSize(len(r.visited)) }
 
-// responseSize approximates the wire size of a sub-result by type:
-// lineage ships tree structure, base-tuples ships tuples, nodes ships
-// addresses, counts ship integers. This is what makes the cheaper query
-// types measurably cheaper, as in ExSPAN.
-func responseSize(typ QueryType, r subResult) int {
-	switch typ {
-	case Lineage:
-		n := 0
-		if r.Node != nil {
-			for _, d := range r.Node.Derivs {
-				for _, c := range d.Children {
-					n += c.Size()
-				}
-			}
-		}
-		return 48 + 96*n
-	case BaseTuples:
-		n := 48
-		for _, b := range r.Bases {
-			n += len(rel.MarshalTuple(b.Tuple)) + 8
-		}
-		return n
-	case Nodes:
-		return 48 + 16*len(r.Nodes)
-	case DerivCount:
-		return 56
-	}
-	return 48
-}
+// responseSize approximates the wire size of a sub-result by type.
+func responseSize(typ QueryType, r provgraph.SubResult) int { return provgraph.ResponseSize(typ, r) }

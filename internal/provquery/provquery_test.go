@@ -345,3 +345,55 @@ func TestQueryTrafficAccountedSeparatelyFromDeltas(t *testing.T) {
 		t.Fatal("query traffic not accounted under provquery kind")
 	}
 }
+
+func TestTraversalLimitsLive(t *testing.T) {
+	_, c := buildLine(t, 6)
+	mc := mincostTuple("n1", "n6", 5)
+
+	full, err := c.Query(Lineage, "n1", mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("unlimited query reported truncation")
+	}
+
+	// maxdepth: the proof stops MaxDepth levels below the root, the
+	// frontier vertex is marked, and less query traffic is sent.
+	shallow, err := c.Query(Lineage, "n1", mc, Options{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shallow.Truncated {
+		t.Fatal("expected Truncated with maxdepth 2")
+	}
+	if got, max := shallow.Root.Depth(), 3; got > max {
+		t.Fatalf("depth = %d, want <= %d", got, max)
+	}
+	if shallow.Stats.Messages >= full.Stats.Messages {
+		t.Fatalf("maxdepth did not cut traffic: %d vs %d messages",
+			shallow.Stats.Messages, full.Stats.Messages)
+	}
+
+	// maxnodes: the vertex budget bounds proof size.
+	bounded, err := c.Query(Lineage, "n1", mc, Options{MaxNodes: 4, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounded.Truncated {
+		t.Fatal("expected Truncated with maxnodes 4")
+	}
+	if got, max := bounded.Root.Size(), 4+4; got > max {
+		// At most MaxNodes resolved vertices plus their truncated
+		// frontier children.
+		t.Fatalf("size = %d, want <= %d", got, max)
+	}
+	// A generous budget changes nothing.
+	free, err := c.Query(Lineage, "n1", mc, Options{MaxNodes: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Truncated || free.Root.Size() != full.Root.Size() {
+		t.Fatalf("generous budget altered the proof: %+v", free)
+	}
+}

@@ -2,9 +2,9 @@ package provquery
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/provenance"
+	"repro/internal/provgraph"
 	"repro/internal/rel"
 )
 
@@ -12,7 +12,7 @@ import (
 // Client executes queries as messages inside the discrete-event
 // simulation, which makes every query a simulation event: it advances
 // virtual time and must run on the simulation thread. A SnapshotClient
-// instead evaluates the same query types against frozen, immutable
+// instead evaluates the same provgraph walk against frozen, immutable
 // provenance views (provenance.View), so any number of goroutines can
 // query concurrently — and lock-free — while the simulation keeps
 // advancing. nettrailsd serves every HTTP query this way.
@@ -35,7 +35,8 @@ var (
 // SnapshotClient answers provenance queries against a fixed set of
 // per-node partition views. It is immutable after construction; a
 // single SnapshotClient may serve many goroutines concurrently when
-// its views are immutable (e.g. provenance.View).
+// its views are immutable (e.g. provenance.View). Each Query builds its
+// own walk state, so no state is shared between concurrent queries.
 type SnapshotClient struct {
 	views map[string]PartitionView
 }
@@ -48,12 +49,16 @@ func NewSnapshotClient(views map[string]PartitionView) *SnapshotClient {
 
 // Query evaluates a provenance query of the given type for the tuple at
 // node `at`, entirely against the frozen views. Result semantics match
-// the live Client.Query: identical proof trees, base-tuple sets, node
-// sets, and derivation counts for the same state. Stats are modeled,
-// not measured: Messages/Bytes count the request/response traffic the
-// live traversal would have sent (each cross-node expansion is one
-// request plus one response); Latency is zero because no virtual time
-// passes in a snapshot.
+// the live Client.Query — both run the identical provgraph walk, so
+// proof trees, base-tuple sets, node sets, derivation counts, and
+// truncation frontiers (for path-based limits, and for the node budget
+// under Sequential order) are the same for the same state. Stats are
+// modeled, not measured: Messages/Bytes count the request/response
+// traffic the live traversal would have sent (each cross-node expansion
+// is one request plus one response); Latency is zero because no virtual
+// time passes in a snapshot. Options.UseCache is a no-op here: the
+// per-node caches belong to live nodes, and serving-layer memoization
+// is provided per snapshot version by internal/server instead.
 func (c *SnapshotClient) Query(typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
 	v, ok := c.views[at]
 	if !ok {
@@ -63,26 +68,12 @@ func (c *SnapshotClient) Query(typ QueryType, at string, t rel.Tuple, opts Optio
 	if _, ok := v.Derivations(vid); !ok {
 		return nil, fmt.Errorf("provquery: tuple %s has no provenance at %s", t, at)
 	}
-	e := &snapEval{client: c, typ: typ, opts: opts}
-	out := e.resolveTuple(at, v, vid, nil)
-	res := &Result{
-		Type:   typ,
-		Pruned: out.Pruned,
-		Stats:  Stats{Messages: e.msgs, Bytes: e.bytes},
-	}
-	switch typ {
-	case Lineage:
-		res.Root = out.Node
-	case BaseTuples:
-		res.Bases = dedupBases(out.Bases)
-	case Nodes:
-		for n := range out.Nodes {
-			res.Nodes = append(res.Nodes, n)
-		}
-		sort.Strings(res.Nodes)
-	case DerivCount:
-		res.Count = out.Count
-	}
+	src := &snapSource{views: c.views}
+	w := provgraph.NewWalk(src, typ, opts)
+	var out provgraph.SubResult
+	w.ResolveTuple(at, vid, nil, func(r provgraph.SubResult) { out = r })
+	res := provgraph.NewResult(typ, out)
+	res.Stats = Stats{Messages: src.msgs, Bytes: src.bytes}
 	return res, nil
 }
 
@@ -95,103 +86,61 @@ func (c *SnapshotClient) Run(src string) (*Result, error) {
 	return c.Query(q.Type, q.At, q.Tuple, q.Opts)
 }
 
-// snapEval carries one query's options and traffic model through the
-// recursive traversal.
-type snapEval struct {
-	client *SnapshotClient
-	typ    QueryType
-	opts   Options
-	msgs   int
-	bytes  int
+// snapSource adapts frozen per-node views to the provgraph walk. All
+// continuations fire synchronously, and each cross-node hop charges the
+// modeled request/response pair the live traversal would have sent.
+// One snapSource serves exactly one query; its counters are the walk's
+// traffic model.
+type snapSource struct {
+	views map[string]PartitionView
+	msgs  int
+	bytes int
 }
 
-// resolveTuple mirrors Service.resolveTuple on a frozen view: cycle
-// detection on the visited path, threshold pruning, and one derivation
-// branch per prov entry.
-func (e *snapEval) resolveTuple(at string, v PartitionView, vid rel.ID, visited []rel.ID) subResult {
-	for _, seen := range visited {
-		if seen == vid {
-			tuple, _ := v.TupleOf(vid)
-			return cycleResult(vid, tuple, at, e.typ)
-		}
-	}
-	tuple, ok := v.TupleOf(vid)
+func (s *snapSource) TupleOf(loc string, vid rel.ID) (rel.Tuple, bool) {
+	v, ok := s.views[loc]
 	if !ok {
-		return missingResult(vid, at, e.typ)
+		return rel.Tuple{}, false
 	}
-	derivs, ok := v.Derivations(vid)
-	if !ok {
-		return missingResult(vid, at, e.typ)
-	}
-	pruned := false
-	if e.opts.Threshold > 0 && len(derivs) > e.opts.Threshold {
-		derivs = derivs[:e.opts.Threshold]
-		pruned = true
-	}
-	node := &ProofNode{VID: vid, Tuple: tuple, Loc: at, Pruned: pruned}
-	acc := subResult{
-		Node:   node,
-		Nodes:  map[string]bool{at: true},
-		Pruned: pruned,
-	}
-	childVisited := append(append([]rel.ID(nil), visited...), vid)
-	for _, d := range derivs {
-		if d.RID.IsZero() {
-			node.Base = true
-			acc.Bases = append(acc.Bases, TupleAt{Tuple: tuple, Loc: at})
-			acc.Count++
-			continue
-		}
-		r := e.expandDeriv(at, d, childVisited)
-		mergeInto(&acc, r)
-	}
-	return acc
+	return v.TupleOf(vid)
 }
 
-// expandDeriv resolves one derivation: locally when the rule executed
-// here, otherwise at the executing node's view, charging one simulated
-// request/response pair for the hop.
-func (e *snapEval) expandDeriv(at string, d provenance.Entry, visited []rel.ID) subResult {
-	loc := d.RLoc
-	if loc == at {
-		return e.expandExecLocal(at, e.client.views[at], d.RID, visited)
-	}
-	v, ok := e.client.views[loc]
+func (s *snapSource) Derivations(loc string, vid rel.ID) ([]provenance.Entry, bool) {
+	v, ok := s.views[loc]
 	if !ok {
-		return missingResult(d.RID, loc, e.typ)
+		return nil, false
 	}
-	e.msgs++ // request
-	e.bytes += requestSize(request{rid: d.RID, visited: visited})
-	r := e.expandExecLocal(loc, v, d.RID, visited)
-	e.msgs++ // response
-	e.bytes += responseSize(e.typ, r)
-	return r
+	return v.Derivations(vid)
 }
 
-// expandExecLocal mirrors Service.expandExecLocal: resolve every input
-// tuple of the rule execution and combine into one derivation branch.
-func (e *snapEval) expandExecLocal(at string, v PartitionView, rid rel.ID, visited []rel.ID) subResult {
-	exec, ok := v.Exec(rid)
+func (s *snapSource) Exec(loc string, rid rel.ID) (provenance.ExecEntry, bool) {
+	v, ok := s.views[loc]
 	if !ok {
-		return missingResult(rid, at, e.typ)
+		return provenance.ExecEntry{}, false
 	}
-	deriv := &ProofDeriv{RID: rid, Rule: exec.Rule, RLoc: at}
-	out := subResult{
-		Nodes: map[string]bool{at: true},
-		Count: 1,
-	}
-	for _, vid := range exec.VIDs {
-		r := e.resolveTuple(at, v, vid, visited)
-		if r.Node != nil {
-			deriv.Children = append(deriv.Children, r.Node)
-		}
-		out.Bases = append(out.Bases, r.Bases...)
-		for n := range r.Nodes {
-			out.Nodes[n] = true
-		}
-		out.Count *= r.Count
-		out.Pruned = out.Pruned || r.Pruned
-	}
-	out.Node = &ProofNode{Derivs: []*ProofDeriv{deriv}} // carrier; merged by caller
-	return out
+	return v.Exec(rid)
 }
+
+// ExpandRemote re-enters the walk at the executing node's view,
+// charging one simulated request/response pair for the hop.
+func (s *snapSource) ExpandRemote(w *provgraph.Walk, from, loc string, rid rel.ID, visited []rel.ID, cont func(provgraph.SubResult)) {
+	if _, ok := s.views[loc]; !ok {
+		cont(provgraph.MissingResult(rid, loc))
+		return
+	}
+	s.msgs++ // request
+	s.bytes += provgraph.RequestSize(len(visited))
+	w.ExpandExecLocal(loc, rid, visited, func(r provgraph.SubResult) {
+		s.msgs++ // response
+		s.bytes += provgraph.ResponseSize(w.Type, r)
+		cont(r)
+	})
+}
+
+// Snapshots have no per-node caches: views are immutable, so the
+// serving layer (internal/server) memoizes whole sub-proofs per
+// snapshot version instead.
+func (s *snapSource) CacheGet(string, provgraph.CacheKey) (provgraph.SubResult, bool) {
+	return provgraph.SubResult{}, false
+}
+func (s *snapSource) CachePut(string, provgraph.CacheKey, provgraph.SubResult) {}

@@ -34,8 +34,8 @@ func canonProof(p *ProofNode, b *strings.Builder, indent string) {
 		b.WriteString(indent + "<nil>\n")
 		return
 	}
-	fmt.Fprintf(b, "%s%s @%s base=%v cycle=%v pruned=%v\n",
-		indent, p.Tuple, p.Loc, p.Base, p.Cycle, p.Pruned)
+	fmt.Fprintf(b, "%s%s @%s base=%v cycle=%v pruned=%v trunc=%v\n",
+		indent, p.Tuple, p.Loc, p.Base, p.Cycle, p.Pruned, p.Truncated)
 	for _, d := range p.Derivs {
 		fmt.Fprintf(b, "%s  rule %s @%s\n", indent, d.Rule, d.RLoc)
 		for _, c := range d.Children {
@@ -74,6 +74,14 @@ func TestSnapshotMatchesLiveQueries(t *testing.T) {
 		{"lineage-threshold", Lineage, Options{Threshold: 1}},
 		{"count-threshold", DerivCount, Options{Threshold: 1}},
 		{"bases-sequential", BaseTuples, Options{Sequential: true}},
+		// maxdepth truncation is path-based: identical frontier in every
+		// traversal order.
+		{"lineage-maxdepth", Lineage, Options{MaxDepth: 3}},
+		{"count-maxdepth", DerivCount, Options{MaxDepth: 2}},
+		// the maxnodes budget is consumed in visit order, so its
+		// frontier parity holds under Sequential (DFS) evaluation.
+		{"lineage-maxnodes", Lineage, Options{MaxNodes: 6, Sequential: true}},
+		{"bases-maxnodes", BaseTuples, Options{MaxNodes: 10, Sequential: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			live, err := c.Query(tc.typ, "n1", mc, tc.opts)
@@ -98,6 +106,9 @@ func TestSnapshotMatchesLiveQueries(t *testing.T) {
 			}
 			if frozen.Pruned != live.Pruned {
 				t.Errorf("pruned: snapshot %v, live %v", frozen.Pruned, live.Pruned)
+			}
+			if frozen.Truncated != live.Truncated {
+				t.Errorf("truncated: snapshot %v, live %v", frozen.Truncated, live.Truncated)
 			}
 			if frozen.Stats.Messages != live.Stats.Messages {
 				t.Errorf("modeled messages %d, live %d", frozen.Stats.Messages, live.Stats.Messages)

@@ -12,11 +12,18 @@ import (
 	"repro/internal/viz"
 )
 
-// Info labels a server instance for /healthz.
+// Info configures a server instance: its /healthz label plus the
+// traversal caps applied to every query it serves.
 type Info struct {
 	// Protocol is the human-readable workload name (e.g. "mincost",
 	// "bgp").
 	Protocol string
+	// MaxDepth / MaxNodes cap the traversal limits of every query
+	// served over HTTP (0 = uncapped). Requests may ask for tighter
+	// limits; absent or looser limits are clamped down to the cap and
+	// the result is marked truncated where the cap bites.
+	MaxDepth int
+	MaxNodes int
 }
 
 // Server is the HTTP JSON face of a Publisher. All handlers read
@@ -31,12 +38,39 @@ type Server struct {
 // New builds the HTTP API over a publisher.
 func New(pub *Publisher, info Info) *Server {
 	s := &Server{pub: pub, info: info, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /nodes", s.handleNodes)
-	s.mux.HandleFunc("GET /state/{node}", s.handleState)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("GET /proof.dot", s.handleProofDOT)
+	s.route("GET", "/healthz", s.handleHealthz)
+	s.route("GET", "/nodes", s.handleNodes)
+	s.route("GET", "/state/{node}", s.handleState)
+	s.route("POST", "/query", s.handleQuery)
+	s.route("GET", "/proof.dot", s.handleProofDOT)
+	// Anything else is a structured JSON 404, not the mux's plain-text
+	// default.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, "unknown endpoint %s", r.URL.Path)
+	})
 	return s
+}
+
+// route registers a handler for one method and a structured JSON 405
+// (with the Allow header) for every other method on the same pattern.
+func (s *Server) route(method, pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" "+pattern, h)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", method)
+		writeErr(w, http.StatusMethodNotAllowed,
+			"method %s not allowed on %s (allow %s)", r.Method, r.URL.Path, method)
+	})
+}
+
+// clampOpts applies the server's traversal caps to a request's options.
+func (s *Server) clampOpts(o provquery.Options) provquery.Options {
+	if s.info.MaxDepth > 0 && (o.MaxDepth == 0 || o.MaxDepth > s.info.MaxDepth) {
+		o.MaxDepth = s.info.MaxDepth
+	}
+	if s.info.MaxNodes > 0 && (o.MaxNodes == 0 || o.MaxNodes > s.info.MaxNodes) {
+		o.MaxNodes = s.info.MaxNodes
+	}
+	return o
 }
 
 // Handler returns the root handler for http.Serve.
@@ -64,13 +98,14 @@ func jsonTuple(t rel.Tuple) tupleJSON {
 
 // proofJSON is the wire form of a proof-tree vertex.
 type proofJSON struct {
-	Tuple  *tupleJSON  `json:"tuple,omitempty"` // nil for unresolved vertices
-	VID    string      `json:"vid"`
-	Loc    string      `json:"loc"`
-	Base   bool        `json:"base,omitempty"`
-	Cycle  bool        `json:"cycle,omitempty"`
-	Pruned bool        `json:"pruned,omitempty"`
-	Derivs []derivJSON `json:"derivs,omitempty"`
+	Tuple     *tupleJSON  `json:"tuple,omitempty"` // nil for unresolved vertices
+	VID       string      `json:"vid"`
+	Loc       string      `json:"loc"`
+	Base      bool        `json:"base,omitempty"`
+	Cycle     bool        `json:"cycle,omitempty"`
+	Pruned    bool        `json:"pruned,omitempty"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Derivs    []derivJSON `json:"derivs,omitempty"`
 }
 
 // derivJSON is one derivation step: the rule, where it executed, and
@@ -84,11 +119,12 @@ type derivJSON struct {
 
 func jsonProof(p *provquery.ProofNode) proofJSON {
 	out := proofJSON{
-		VID:    p.VID.Short(),
-		Loc:    p.Loc,
-		Base:   p.Base,
-		Cycle:  p.Cycle,
-		Pruned: p.Pruned,
+		VID:       p.VID.Short(),
+		Loc:       p.Loc,
+		Base:      p.Base,
+		Cycle:     p.Cycle,
+		Pruned:    p.Pruned,
+		Truncated: p.Truncated,
 	}
 	if p.Tuple.Rel != "" {
 		t := jsonTuple(p.Tuple)
@@ -197,7 +233,8 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	out := nodesJSON{Version: snap.Version, Time: int64(snap.Time)}
+	// Nodes is always a JSON array, never null.
+	out := nodesJSON{Version: snap.Version, Time: int64(snap.Time), Nodes: []nodeJSON{}}
 	for _, addr := range snap.Nodes {
 		info := snap.Info[addr]
 		out.Nodes = append(out.Nodes, nodeJSON{
@@ -283,6 +320,8 @@ type queryRequest struct {
 	Options struct {
 		Threshold  int  `json:"threshold,omitempty"`
 		Sequential bool `json:"sequential,omitempty"`
+		MaxDepth   int  `json:"maxdepth,omitempty"`
+		MaxNodes   int  `json:"maxnodes,omitempty"`
 	} `json:"options"`
 }
 
@@ -291,17 +330,35 @@ type queryStatsJSON struct {
 	Bytes    int `json:"bytes"`
 }
 
+// queryResponse is the /query body. It contains only version-determined
+// fields: two requests pinned to the same snapshot version always get
+// byte-identical bodies, whether served from the sub-proof cache or by
+// a fresh traversal. Cache observability travels in the X-Cache,
+// X-Cache-Hits, and X-Cache-Misses response headers instead.
 type queryResponse struct {
-	Version uint64         `json:"version"`
-	Time    int64          `json:"virtualTimeUs"`
-	Type    string         `json:"type"`
-	Pruned  bool           `json:"pruned,omitempty"`
-	Proof   *proofJSON     `json:"proof,omitempty"`
-	Text    string         `json:"text,omitempty"`
-	Bases   []tupleJSON    `json:"bases,omitempty"`
-	Nodes   []string       `json:"nodes,omitempty"`
-	Count   *int           `json:"count,omitempty"`
-	Stats   queryStatsJSON `json:"stats"`
+	Version   uint64         `json:"version"`
+	Time      int64          `json:"virtualTimeUs"`
+	Type      string         `json:"type"`
+	Pruned    bool           `json:"pruned,omitempty"`
+	Truncated bool           `json:"truncated,omitempty"`
+	Proof     *proofJSON     `json:"proof,omitempty"`
+	Text      string         `json:"text,omitempty"`
+	Bases     []tupleJSON    `json:"bases,omitempty"`
+	Nodes     []string       `json:"nodes,omitempty"`
+	Count     *int           `json:"count,omitempty"`
+	Stats     queryStatsJSON `json:"stats"`
+}
+
+// setCacheHeaders reports a CachedQuery outcome on the response.
+func setCacheHeaders(w http.ResponseWriter, snap *Snapshot, hit bool) {
+	verdict := "MISS"
+	if hit {
+		verdict = "HIT"
+	}
+	hits, misses := snap.CacheCounters()
+	w.Header().Set("X-Cache", verdict)
+	w.Header().Set("X-Cache-Hits", strconv.FormatInt(hits, 10))
+	w.Header().Set("X-Cache-Misses", strconv.FormatInt(misses, 10))
 }
 
 // resolveTupleAt parses a tuple literal and resolves the node to query
@@ -362,26 +419,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts = provquery.Options{
 			Threshold:  req.Options.Threshold,
 			Sequential: req.Options.Sequential,
+			MaxDepth:   req.Options.MaxDepth,
+			MaxNodes:   req.Options.MaxNodes,
 		}
 	default:
 		writeErr(w, http.StatusBadRequest, `need "q" or "type"+"tuple"`)
 		return
 	}
 
-	res, err := snap.Query(typ, at, t, opts)
+	res, hit, err := snap.CachedQuery(typ, at, t, s.clampOpts(opts))
 	if err != nil {
 		// Unknown tuples/nodes surface here; the snapshot simply has no
 		// provenance for them.
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	setCacheHeaders(w, snap, hit)
 
 	out := queryResponse{
-		Version: snap.Version,
-		Time:    int64(snap.Time),
-		Type:    res.Type.String(),
-		Pruned:  res.Pruned,
-		Stats:   queryStatsJSON{Messages: res.Stats.Messages, Bytes: res.Stats.Bytes},
+		Version:   snap.Version,
+		Time:      int64(snap.Time),
+		Type:      res.Type.String(),
+		Pruned:    res.Pruned,
+		Truncated: res.Truncated,
+		Stats:     queryStatsJSON{Messages: res.Stats.Messages, Bytes: res.Stats.Bytes},
 	}
 	switch res.Type {
 	case provquery.Lineage:
@@ -424,11 +485,12 @@ func (s *Server) handleProofDOT(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := snap.Query(provquery.Lineage, at, t, provquery.Options{})
+	res, hit, err := snap.CachedQuery(provquery.Lineage, at, t, s.clampOpts(provquery.Options{}))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	setCacheHeaders(w, snap, hit)
 	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
 	w.Header().Set("X-Snapshot-Version", strconv.FormatUint(snap.Version, 10))
 	fmt.Fprint(w, viz.ProofDOT(res.Root))

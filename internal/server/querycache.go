@@ -1,0 +1,108 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/provquery"
+	"repro/internal/rel"
+)
+
+// queryCache memoizes whole query results for one immutable snapshot
+// version. Because a snapshot never changes after publication, entries
+// need no invalidation: the cache simply lives and dies with its
+// snapshot, so eviction is the retention ring dropping old versions.
+//
+// Keying is version-implicit (one cache per snapshot) × VID × query
+// type × the full option set; every field of provquery.Options changes
+// the answer (threshold and limits change the result, traversal order
+// changes the modeled latency-relevant shape), so the whole struct is
+// part of the key. The starting node is included because the walk's
+// entry point determines the proof.
+//
+// Because option values are request-controlled, distinct keys are
+// unbounded from the client's point of view; maxQueryCacheEntries caps
+// how many results one snapshot memoizes so a client cycling option
+// values (or a never-churning daemon whose snapshot never ages out)
+// cannot grow server memory without bound. Once full, further distinct
+// queries simply evaluate uncached.
+type queryCache struct {
+	mu sync.RWMutex
+	m  map[queryCacheKey]*provquery.Result
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// maxQueryCacheEntries bounds one snapshot's memoized results.
+const maxQueryCacheEntries = 4096
+
+type queryCacheKey struct {
+	at   string
+	vid  rel.ID
+	typ  provquery.QueryType
+	opts provquery.Options
+}
+
+func newQueryCache() *queryCache {
+	return &queryCache{m: map[queryCacheKey]*provquery.Result{}}
+}
+
+func (c *queryCache) get(key queryCacheKey) (*provquery.Result, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+func (c *queryCache) put(key queryCacheKey, r *provquery.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= maxQueryCacheEntries {
+		if _, ok := c.m[key]; !ok {
+			return // full: serve this key uncached rather than grow
+		}
+	}
+	c.m[key] = r
+}
+
+// CachedQuery evaluates a provenance query against this snapshot,
+// serving repeated identical queries from the snapshot's sub-proof
+// cache instead of re-traversing. Safe for concurrent use; two racing
+// misses both traverse (identical immutable state gives identical
+// results) and the cache keeps one of them.
+//
+// The returned Result's proof structures are shared with every other
+// caller for the same key and MUST be treated as read-only. hit reports
+// whether this call was served from the cache, and the result's
+// Stats.SubProofHits/SubProofMisses carry the cache's cumulative
+// counters at serve time. Errors (unknown tuples/nodes) are never
+// cached; they are cheap to recompute.
+func (s *Snapshot) CachedQuery(typ provquery.QueryType, at string, t rel.Tuple, opts provquery.Options) (res *provquery.Result, hit bool, err error) {
+	key := queryCacheKey{at: at, vid: t.VID(), typ: typ, opts: opts}
+	cached, ok := s.cache.get(key)
+	if ok {
+		s.cache.hits.Add(1)
+		hit = true
+	} else {
+		r, qerr := s.query.Query(typ, at, t, opts)
+		if qerr != nil {
+			return nil, false, qerr
+		}
+		s.cache.misses.Add(1)
+		s.cache.put(key, r)
+		cached = r
+	}
+	// Hand back a shallow copy so the hit/miss counters can be stamped
+	// into Stats without mutating the shared cached value.
+	out := *cached
+	out.Stats.SubProofHits = int(s.cache.hits.Load())
+	out.Stats.SubProofMisses = int(s.cache.misses.Load())
+	return &out, hit, nil
+}
+
+// CacheCounters returns the snapshot's cumulative sub-proof cache hit
+// and miss counts. Safe for concurrent use.
+func (s *Snapshot) CacheCounters() (hits, misses int64) {
+	return s.cache.hits.Load(), s.cache.misses.Load()
+}

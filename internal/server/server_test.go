@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/protocols"
+	"repro/internal/provquery"
+	"repro/internal/rel"
 )
 
 // buildGrid boots a converged MINCOST engine on a side x side grid.
@@ -422,5 +424,234 @@ func TestSnapshotStableWhileSimulationAdvances(t *testing.T) {
 	_, live := post(t, ts.URL+"/query", `{"q":"count of mincost(@'n1','n4',2)"}`)
 	if bytes.Equal(before, live) {
 		t.Fatal("current snapshot never advanced past the pinned one")
+	}
+}
+
+// getFull is get plus response headers (for cache assertions).
+func getFull(t testing.TB, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func postFull(t testing.TB, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestQueryCacheServesRepeatedPinnedQueries is the HTTP acceptance test
+// of the per-version sub-proof cache: the first pinned query misses,
+// every repeat hits, hit counters advance, and hit/miss bodies are
+// byte-identical.
+func TestQueryCacheServesRepeatedPinnedQueries(t *testing.T) {
+	e := buildGrid(t, 3)
+	pub, ts := newServer(t, e, 0)
+	v := pub.Current().Version
+	q := fmt.Sprintf(`{"q":"lineage of mincost(@'n1','n9',4)","version":%d}`, v)
+
+	first, firstBody := postFull(t, ts.URL+"/query", q)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first query: %d %s", first.StatusCode, firstBody)
+	}
+	if got := first.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first query X-Cache = %q, want MISS", got)
+	}
+
+	second, secondBody := postFull(t, ts.URL+"/query", q)
+	if got := second.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second query X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Fatalf("cache hit body diverged from miss body:\n%s\nvs\n%s", firstBody, secondBody)
+	}
+	if hits := second.Header.Get("X-Cache-Hits"); hits != "1" {
+		t.Fatalf("X-Cache-Hits = %q, want 1", hits)
+	}
+	third, _ := postFull(t, ts.URL+"/query", q)
+	if hits := third.Header.Get("X-Cache-Hits"); hits != "2" {
+		t.Fatalf("X-Cache-Hits = %q, want 2", hits)
+	}
+	if misses := third.Header.Get("X-Cache-Misses"); misses != "1" {
+		t.Fatalf("X-Cache-Misses = %q, want 1", misses)
+	}
+	if hits, misses := pub.Current().CacheCounters(); hits != 2 || misses != 1 {
+		t.Fatalf("CacheCounters = %d/%d, want 2/1", hits, misses)
+	}
+
+	// A different option set is a different sub-proof: it must miss.
+	alt, _ := postFull(t, ts.URL+"/query", fmt.Sprintf(
+		`{"q":"lineage of mincost(@'n1','n9',4) with threshold 1","version":%d}`, v))
+	if got := alt.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("different options X-Cache = %q, want MISS", got)
+	}
+
+	// proof.dot shares the same cache (lineage + default options).
+	dot1, _ := getFull(t, fmt.Sprintf("%s/proof.dot?tuple=mincost(@'n1','n9',4)&version=%d", ts.URL, v))
+	if got := dot1.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("proof.dot after cached lineage X-Cache = %q, want HIT", got)
+	}
+
+	// Go-level counters surface in Stats on the copy CachedQuery returns.
+	mc, err := nettrailsParse("mincost(@'n1','n9',4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, hit, err := pub.Current().CachedQuery(provquery.Lineage, "n1", mc, provquery.Options{})
+	if err != nil || !hit {
+		t.Fatalf("CachedQuery hit=%v err=%v", hit, err)
+	}
+	if res.Stats.SubProofHits == 0 || res.Stats.SubProofMisses == 0 {
+		t.Fatalf("Stats cache counters not set: %+v", res.Stats)
+	}
+}
+
+// nettrailsParse avoids importing the root facade: tuple literals parse
+// through provquery like the HTTP handlers do.
+func nettrailsParse(lit string) (rel.Tuple, error) {
+	return provquery.ParseTupleLiteral(lit)
+}
+
+// TestUnknownRoutesAndMethodsAreStructuredJSON: every error the server
+// emits — including unmatched paths and wrong methods — is JSON with
+// the right status code.
+func TestUnknownRoutesAndMethodsAreStructuredJSON(t *testing.T) {
+	e := buildGrid(t, 2)
+	_, ts := newServer(t, e, 0)
+
+	assertJSONError := func(resp *http.Response, body []byte, wantCode int) {
+		t.Helper()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, wantCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("not a structured error: %s", body)
+		}
+	}
+
+	resp, body := getFull(t, ts.URL+"/nope")
+	assertJSONError(resp, body, http.StatusNotFound)
+
+	resp, body = postFull(t, ts.URL+"/nodes", `{}`)
+	assertJSONError(resp, body, http.StatusMethodNotAllowed)
+	if allow := resp.Header.Get("Allow"); allow != "GET" {
+		t.Fatalf("Allow = %q, want GET", allow)
+	}
+	resp, body = getFull(t, ts.URL+"/query")
+	assertJSONError(resp, body, http.StatusMethodNotAllowed)
+
+	resp, body = getFull(t, ts.URL+"/nodes?version=banana")
+	assertJSONError(resp, body, http.StatusBadRequest)
+	resp, body = getFull(t, ts.URL+"/state/n1?version=999999")
+	assertJSONError(resp, body, http.StatusGone)
+	resp, body = getFull(t, ts.URL+"/state/ghost")
+	assertJSONError(resp, body, http.StatusNotFound)
+
+	// proof.dot success still carries the Graphviz content type.
+	resp, _ = getFull(t, ts.URL+"/proof.dot?tuple=mincost(@'n1','n4',2)")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/vnd.graphviz") {
+		t.Fatalf("proof.dot Content-Type = %q", ct)
+	}
+}
+
+// TestServerTraversalCaps: server-side maxdepth/maxnodes caps clamp
+// every query, and request-level limits flow through both request
+// forms.
+func TestServerTraversalCaps(t *testing.T) {
+	e := buildGrid(t, 3)
+	pub, err := NewPublisher(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(pub, Info{Protocol: "mincost", MaxDepth: 2}))
+	t.Cleanup(ts.Close)
+
+	code, body := post(t, ts.URL+"/query", `{"q":"lineage of mincost(@'n1','n9',4)"}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var q struct {
+		Truncated bool `json:"truncated"`
+	}
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Truncated {
+		t.Fatalf("capped server did not truncate: %s", body)
+	}
+
+	// The structured form's limits also apply (tighter than the cap).
+	code, body = post(t, ts.URL+"/query",
+		`{"type":"lineage","tuple":"mincost(@'n1','n9',4)","options":{"maxdepth":1}}`)
+	if code != http.StatusOK {
+		t.Fatalf("structured query: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Truncated {
+		t.Fatalf("structured maxdepth did not truncate: %s", body)
+	}
+}
+
+// TestQueryCacheBounded: the per-snapshot sub-proof cache stops
+// growing at its entry cap — request-controlled option values must not
+// let a client grow server memory without bound — while already-cached
+// keys keep hitting.
+func TestQueryCacheBounded(t *testing.T) {
+	e := buildGrid(t, 2)
+	pub, err := NewPublisher(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := pub.Current()
+	mc, err := provquery.ParseTupleLiteral("mincost(@'n1','n4',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct never-pruning thresholds mint distinct keys.
+	for i := 0; i <= maxQueryCacheEntries; i++ {
+		if _, _, err := snap.CachedQuery(provquery.DerivCount, "n1", mc,
+			provquery.Options{Threshold: 1000 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(snap.cache.m); got > maxQueryCacheEntries {
+		t.Fatalf("cache grew to %d entries past the %d cap", got, maxQueryCacheEntries)
+	}
+	// A fresh key against the full cache evaluates but is not stored.
+	fresh := provquery.Options{Threshold: 999999}
+	if _, hit, err := snap.CachedQuery(provquery.DerivCount, "n1", mc, fresh); err != nil || hit {
+		t.Fatalf("fresh key on full cache: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := snap.CachedQuery(provquery.DerivCount, "n1", mc, fresh); err != nil || hit {
+		t.Fatalf("full cache must not store new keys: hit=%v err=%v", hit, err)
+	}
+	// An entry cached before the cap still hits.
+	if _, hit, err := snap.CachedQuery(provquery.DerivCount, "n1", mc,
+		provquery.Options{Threshold: 1000}); err != nil || !hit {
+		t.Fatalf("pre-cap entry: hit=%v err=%v", hit, err)
 	}
 }

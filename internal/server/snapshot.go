@@ -74,6 +74,10 @@ type Snapshot struct {
 
 	views map[string]*provenance.View
 	query *provquery.SnapshotClient
+	// cache memoizes whole query results for this (immutable) version;
+	// see querycache.go. It is evicted together with the snapshot when
+	// the version ages out of the retention ring.
+	cache *queryCache
 }
 
 // Query evaluates a provenance query against this snapshot. Safe for
@@ -112,11 +116,11 @@ type Publisher struct {
 	cur atomic.Pointer[ring]
 
 	// Dirty tracking: skip re-copying what did not change.
-	lastState  map[string]uint64                  // node -> eval store StateVersion
-	lastProv   map[string]uint64                  // node -> provenance store version
-	lastTabVer map[string]map[string]uint64       // node -> relation -> table version
-	lastTables map[string]map[string][]rel.Tuple  // node -> last frozen tables
-	history    []logstore.Snapshot                // append-only; wrapped via FromSorted
+	lastState  map[string]uint64                 // node -> eval store StateVersion
+	lastProv   map[string]uint64                 // node -> provenance store version
+	lastTabVer map[string]map[string]uint64      // node -> relation -> table version
+	lastTables map[string]map[string][]rel.Tuple // node -> last frozen tables
+	history    []logstore.Snapshot               // append-only; wrapped via FromSorted
 }
 
 // DefaultRetain is how many recent snapshot versions a publisher keeps
@@ -260,6 +264,7 @@ func (p *Publisher) Publish() *Snapshot {
 	}
 	snap.History = logstore.FromSorted(p.history[:len(p.history):len(p.history)])
 	snap.query = provquery.NewSnapshotClient(views)
+	snap.cache = newQueryCache()
 
 	snaps := append(append([]*Snapshot{}, prev.snaps...), snap)
 	if len(snaps) > p.retain {

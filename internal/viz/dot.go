@@ -69,7 +69,7 @@ func (g *dotBuilder) walk(p *provquery.ProofNode) {
 			attrs += ", style=filled, fillcolor=lightgray"
 		case p.Cycle:
 			attrs += ", style=dashed"
-		case p.Pruned:
+		case p.Pruned, p.Truncated:
 			attrs += ", style=dotted"
 		}
 		g.nodesByLoc[p.Loc] = append(g.nodesByLoc[p.Loc],

@@ -125,6 +125,9 @@ func renderNode(b *strings.Builder, p *provquery.ProofNode, prefix string, last 
 	if p.Pruned {
 		marks = append(marks, "pruned")
 	}
+	if p.Truncated {
+		marks = append(marks, "truncated")
+	}
 	mark := ""
 	if len(marks) > 0 {
 		mark = " [" + strings.Join(marks, ",") + "]"
