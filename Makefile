@@ -1,12 +1,21 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all vet fmt-check build test race fuzz bench serve-smoke ci clean
+.PHONY: all vet staticcheck fmt-check build test race fuzz bench serve-smoke ci clean
 
 all: fmt-check vet build test
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is installed (CI installs it; local
+# dev machines may not have it, and the build must not require network).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # fmt-check fails (listing the offenders) when any file needs gofmt.
 fmt-check:
@@ -37,6 +46,9 @@ fuzz:
 #     clients against a live 8-AS BGP run under snapshot isolation)
 #   - BENCH_querycache.json: the per-version sub-proof cache (cold
 #     traversal vs cache-served repeats, direct and over HTTP)
+#   - BENCH_api.json: the v1 batch endpoint through the Go SDK
+#     (sequential round trips vs one batch vs a batch denied its
+#     shared sub-proof cache)
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 3x . | tee bench_parallel.out
 	$(GO) run ./tools/benchjson < bench_parallel.out > BENCH_parallel.json
@@ -44,7 +56,9 @@ bench:
 	$(GO) run ./tools/benchjson < bench_serve.out > BENCH_serve.json
 	$(GO) test -run '^$$' -bench 'BenchmarkQueryCache' -benchtime 20x . | tee bench_querycache.out
 	$(GO) run ./tools/benchjson < bench_querycache.out > BENCH_querycache.json
-	@rm -f bench_parallel.out bench_serve.out bench_querycache.out
+	$(GO) test -run '^$$' -bench 'BenchmarkAPIBatch' -benchtime 20x . | tee bench_api.out
+	$(GO) run ./tools/benchjson < bench_api.out > BENCH_api.json
+	@rm -f bench_parallel.out bench_serve.out bench_querycache.out bench_api.out
 
 # serve-smoke boots the nettrailsd daemon on an ephemeral port and
 # drives /healthz and /query end to end (plus the churn/pinned-version
@@ -52,7 +66,7 @@ bench:
 serve-smoke:
 	$(GO) test -count=1 ./cmd/nettrailsd/
 
-ci: fmt-check vet build race fuzz serve-smoke bench
+ci: fmt-check vet staticcheck build race fuzz serve-smoke bench
 
 # clean removes scratch files only; BENCH_*.json are committed
 # trajectory artifacts and must survive a clean.

@@ -7,6 +7,7 @@
 package nettrails_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"testing"
 
 	nettrails "repro"
+	"repro/client"
 	"repro/internal/engine"
 	"repro/internal/protocols"
 	"repro/internal/provquery"
@@ -645,5 +647,138 @@ func BenchmarkQueryCache(b *testing.B) {
 		// shared with the other sub-benchmarks and earlier b.N reruns.
 		hits, _ := snap.CacheCounters()
 		b.ReportMetric(float64(hits-startHits)/float64(b.N), "hits/op")
+	})
+}
+
+// BenchmarkAPIBatch (E12): the v1 API's batch endpoint, driven
+// through the public Go SDK against a pinned snapshot. The workload is
+// 12 count queries (4 distinct deep proofs, each repeated 3x; count
+// responses are a few bytes, so the sweep isolates traversal-vs-cache
+// on the serving path instead of JSON size):
+//
+//   - sequential:     12 individual POST /v1/query round trips
+//   - batch:          the same 12 queries in one POST /v1/query/batch —
+//     repeats inside the batch hit the snapshot's shared sub-proof
+//     cache (hits/op asserts it), and 11 round trips disappear
+//   - batch-nosharing: 12 all-distinct queries in one batch — every
+//     element is a full cold traversal, i.e. what the batch would cost
+//     without the shared cache
+//
+// Cache keys are fresh per iteration, so every iteration pays the same
+// cold work and the comparison stays honest across reruns.
+func BenchmarkAPIBatch(b *testing.B) {
+	side := 4
+	n := side * side
+	e, err := engine.New(nettrails.MinCost, nettrails.NodeNames(n), engine.Options{
+		Seed: 1, Provenance: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ed := range protocols.GridTopology(side, side, 1) {
+		if err := e.AddBiLink(ed.A, ed.B, ed.Cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.RunQuiescent()
+	pub, err := server.NewPublisher(e, server.DefaultRetain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(pub, server.Info{Protocol: "mincost"}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.PinCurrent(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	distinct := []string{
+		"mincost(@'n1','n16',6)",
+		"mincost(@'n1','n4',3)",
+		"mincost(@'n1','n13',3)",
+		"mincost(@'n1','n8',4)",
+	}
+	const repeats = 3
+	// keyBase mints per-iteration-fresh (never-pruning) thresholds, i.e.
+	// fresh cache keys, and never repeats across the growing b.N reruns
+	// (staying within the API's maxOptionValue bound).
+	keyBase := 1000
+	// workload builds the 12 queries; allDistinct breaks the in-batch
+	// repetition so no element can reuse another's sub-proof.
+	workload := func(key int, allDistinct bool) []client.BatchQuery {
+		var qs []client.BatchQuery
+		for r := 0; r < repeats; r++ {
+			for i, tuple := range distinct {
+				k := key + i
+				if allDistinct {
+					k = key + r*len(distinct) + i
+				}
+				qs = append(qs, client.BatchQuery{
+					Type: "count", Tuple: tuple,
+					Options: &client.Options{Threshold: k},
+				})
+			}
+		}
+		return qs
+	}
+	step := repeats * len(distinct)
+	checkBatch := func(b *testing.B, res *client.BatchResult) {
+		b.Helper()
+		for _, item := range res.Results {
+			if item.Err != nil || item.Result.Count == nil {
+				b.Fatalf("batch item: %+v", item)
+			}
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			keyBase += step
+			for _, q := range workload(keyBase, false) {
+				res, err := c.Count(ctx, q.Tuple, client.WithOptions(*q.Options))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count == nil {
+					b.Fatal("no count")
+				}
+			}
+		}
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		ctx := context.Background()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			keyBase += step
+			res, err := c.QueryBatch(ctx, workload(keyBase, false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			checkBatch(b, res)
+			hits += res.CacheHits
+		}
+		want := (repeats - 1) * len(distinct)
+		if hits < want*b.N {
+			b.Fatalf("batch cache sharing broken: %d hits over %d iterations, want %d/iter",
+				hits, b.N, want)
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+	})
+
+	b.Run("batch-nosharing", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			keyBase += step
+			res, err := c.QueryBatch(ctx, workload(keyBase, true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			checkBatch(b, res)
+		}
 	})
 }

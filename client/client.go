@@ -1,0 +1,271 @@
+// Package client is the typed Go SDK for the NetTrails provenance
+// query service — the versioned /v1/ HTTP API served by
+// cmd/nettrailsd (see docs/API.md). It covers the full surface:
+// health, build info, node summaries, per-node state, provenance
+// queries (textual and structured), batch queries, and Graphviz proof
+// export.
+//
+// Every call takes a context.Context; cancelling it (or letting its
+// deadline pass) aborts the server-side traversal mid-walk, not just
+// the local wait. A client-wide traversal timeout (WithTimeout) rides
+// as the ?timeout= parameter on query calls.
+//
+// Snapshot pinning gives version affinity across calls: Pin (or
+// WithSnapshotAffinity, which adopts the first version the server
+// answers with) makes every subsequent call read the same immutable
+// snapshot, so multi-call workflows see one consistent instant no
+// matter how far the simulation advances in between. A pinned version
+// that ages out of the server's retention ring surfaces as an APIError
+// with CodeSnapshotEvicted.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client talks to one NetTrails server. It is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+
+	mu       sync.Mutex
+	pinned   uint64
+	affinity bool
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, test servers, instrumented round-trippers).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTimeout sets the traversal deadline sent as ?timeout= on every
+// query call. The server aborts the walk when it expires and answers
+// a structured CodeQueryTimeout error; servers configured with their
+// own cap clamp looser values down.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// WithVersion starts the client pinned to a snapshot version.
+func WithVersion(v uint64) Option { return func(c *Client) { c.pinned = v } }
+
+// WithSnapshotAffinity makes the client adopt the first snapshot
+// version a response reports as its pin, so all subsequent calls read
+// the same immutable snapshot until Unpin.
+func WithSnapshotAffinity() Option { return func(c *Client) { c.affinity = true } }
+
+// New builds a client for the server at baseURL (e.g. the address
+// nettrailsd prints on startup, "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Pin makes every subsequent call read the given snapshot version.
+func (c *Client) Pin(v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinned = v
+}
+
+// Unpin returns the client to reading the current snapshot (and
+// re-arms WithSnapshotAffinity, if configured).
+func (c *Client) Unpin() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinned = 0
+}
+
+// Pinned returns the pinned snapshot version; 0 means current.
+func (c *Client) Pinned() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pinned
+}
+
+// PinCurrent pins the server's current snapshot version and returns
+// it — the explicit form of WithSnapshotAffinity.
+func (c *Client) PinCurrent(ctx context.Context) (uint64, error) {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return 0, err
+	}
+	c.Pin(h.Version)
+	return h.Version, nil
+}
+
+// observe records a response's snapshot version for affinity pinning.
+func (c *Client) observe(version uint64) {
+	if version == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.affinity && c.pinned == 0 {
+		c.pinned = version
+	}
+}
+
+// callOpts carries per-call overrides.
+type callOpts struct {
+	version    *uint64
+	rel        string
+	atTimeUs   *int64
+	at         string
+	options    Options
+	hasOptions bool
+}
+
+// CallOption adjusts one call.
+type CallOption func(*callOpts)
+
+// At pins this one call to a snapshot version, overriding the
+// client-wide pin (0 = explicitly current).
+func At(version uint64) CallOption { return func(o *callOpts) { o.version = &version } }
+
+// Rel restricts a State call to one relation.
+func Rel(rel string) CallOption { return func(o *callOpts) { o.rel = rel } }
+
+// AtTime makes a State call time-travel to the given virtual time
+// (microseconds) through the server's retained history.
+func AtTime(us int64) CallOption { return func(o *callOpts) { o.atTimeUs = &us } }
+
+// AtNode overrides the node a structured query starts at (default:
+// the tuple's location attribute).
+func AtNode(addr string) CallOption { return func(o *callOpts) { o.at = addr } }
+
+// WithOptions sets a structured query's traversal options.
+func WithOptions(opts Options) CallOption {
+	return func(o *callOpts) { o.options = opts; o.hasOptions = true }
+}
+
+func applyCallOpts(opts []CallOption) callOpts {
+	var o callOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// resolveVersion picks the snapshot version for one call: explicit
+// per-call override, else the client pin, else current.
+func (c *Client) resolveVersion(o callOpts) uint64 {
+	if o.version != nil {
+		return *o.version
+	}
+	return c.Pinned()
+}
+
+// url assembles an endpoint URL with query parameters.
+func (c *Client) url(path string, params url.Values) string {
+	if len(params) == 0 {
+		return c.base + path
+	}
+	return c.base + path + "?" + params.Encode()
+}
+
+// queryParams returns the shared parameters of query-evaluating calls.
+func (c *Client) queryParams() url.Values {
+	p := url.Values{}
+	if c.timeout > 0 {
+		p.Set("timeout", c.timeout.String())
+	}
+	return p
+}
+
+// do issues the request and decodes either the expected body or the
+// error envelope.
+func (c *Client) do(ctx context.Context, method, rawURL string, body []byte, out interface{}) (http.Header, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rawURL, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, decodeAPIError(resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return nil, fmt.Errorf("client: decode %s response: %w", rawURL, err)
+		}
+	}
+	return resp.Header, nil
+}
+
+// doRaw is do for non-JSON success bodies (proof.dot).
+func (c *Client) doRaw(ctx context.Context, rawURL string) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", rawURL, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, nil, decodeAPIError(resp.StatusCode, data)
+	}
+	return data, resp.Header, nil
+}
+
+// decodeAPIError turns an error response into an *APIError, falling
+// back to a generic one for non-envelope bodies.
+func decodeAPIError(status int, body []byte) error {
+	var env struct {
+		Error APIError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		e := env.Error
+		e.Status = status
+		return &e
+	}
+	return &APIError{Status: status, Message: strings.TrimSpace(string(body))}
+}
+
+func asAPIError(err error, target **APIError) bool { return errors.As(err, target) }
+
+// cacheInfo extracts the X-Cache* headers.
+func cacheInfo(h http.Header) CacheInfo {
+	hits, _ := strconv.ParseInt(h.Get("X-Cache-Hits"), 10, 64)
+	misses, _ := strconv.ParseInt(h.Get("X-Cache-Misses"), 10, 64)
+	return CacheInfo{Hit: h.Get("X-Cache") == "HIT", Hits: hits, Misses: misses}
+}

@@ -1,0 +1,263 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/protocols"
+	"repro/internal/server"
+)
+
+// startServer boots a converged MINCOST grid engine and serves it
+// in-process, returning the SDK client, the publisher (for churn), and
+// the engine.
+func startServer(t *testing.T, side int, opts ...Option) (*Client, *server.Publisher, *engine.Engine) {
+	t.Helper()
+	n := side * side
+	e, err := protocols.Build(protocols.MinCost, protocols.NodeNames(n),
+		protocols.GridTopology(side, side, 1), engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := server.NewPublisher(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(pub, server.Info{Protocol: "mincost"}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, pub, e
+}
+
+func TestHealthNodesState(t *testing.T) {
+	c, _, _ := startServer(t, 2)
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Protocol != "mincost" || h.Nodes != 4 || h.Version == 0 {
+		t.Fatalf("health = %+v", h)
+	}
+
+	ns, err := c.Nodes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns.Nodes) != 4 || ns.Nodes[0].Addr != "n1" || ns.Nodes[0].Tuples == 0 {
+		t.Fatalf("nodes = %+v", ns)
+	}
+
+	st, err := c.State(ctx, "n1", Rel("mincost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "n1" || len(st.Tables) != 1 || len(st.Tables["mincost"]) == 0 {
+		t.Fatalf("state = %+v", st)
+	}
+
+	bi, err := c.ServerVersion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Module != "repro" || !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Fatalf("server version = %+v", bi)
+	}
+}
+
+func TestQueriesAndCacheStats(t *testing.T) {
+	c, _, _ := startServer(t, 2)
+	ctx := context.Background()
+
+	res, err := c.Query(ctx, "lineage of mincost(@'n1','n4',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Type != "lineage" || res.Proof == nil || res.Proof.Tuple.Text != "mincost(@n1, n4, 2)" {
+		t.Fatalf("lineage = %+v", res)
+	}
+	if res.Cache.Hit {
+		t.Fatal("first query reported a cache hit")
+	}
+
+	// The typed helpers agree with the textual form, and repeats hit
+	// the server's per-snapshot cache.
+	again, err := c.Lineage(ctx, "mincost(@'n1','n4',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cache.Hit || again.Cache.Hits == 0 {
+		t.Fatalf("repeat lineage cache = %+v", again.Cache)
+	}
+	if again.Text != res.Text {
+		t.Fatal("structured lineage diverged from textual")
+	}
+
+	bases, err := c.Bases(ctx, "mincost(@'n1','n4',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases.Bases) == 0 || bases.Bases[0].Rel != "link" {
+		t.Fatalf("bases = %+v", bases.Bases)
+	}
+
+	nodes, err := c.NodesOf(ctx, "mincost(@'n1','n4',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes.Nodes) < 3 {
+		t.Fatalf("nodes = %+v", nodes.Nodes)
+	}
+
+	count, err := c.Count(ctx, "mincost(@'n1','n4',2)", WithOptions(Options{Threshold: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Count == nil || *count.Count != 1 || !count.Pruned {
+		t.Fatalf("pruned count = %+v", count)
+	}
+
+	trunc, err := c.Lineage(ctx, "mincost(@'n1','n4',2)", WithOptions(Options{MaxDepth: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trunc.Truncated {
+		t.Fatalf("maxdepth 1 lineage not truncated: %+v", trunc)
+	}
+}
+
+func TestSnapshotAffinity(t *testing.T) {
+	c, pub, e := startServer(t, 2, WithSnapshotAffinity())
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Pinned(); got != h.Version {
+		t.Fatalf("affinity pinned %d, health reported %d", got, h.Version)
+	}
+
+	// Advance the simulation; pinned calls must stay on the old version.
+	if err := e.RemoveBiLink("n1", "n2", 1); err != nil {
+		t.Fatal(err)
+	}
+	e.RunQuiescent()
+	if cur := pub.Current().Version; cur == h.Version {
+		t.Fatal("simulation did not advance")
+	}
+	ns, err := c.Nodes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Version != h.Version {
+		t.Fatalf("pinned Nodes read version %d, want %d", ns.Version, h.Version)
+	}
+	// A per-call override escapes the pin; Unpin drops it.
+	cur, err := c.Nodes(ctx, At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version == h.Version {
+		t.Fatal("At(0) did not read the current snapshot")
+	}
+	c.Unpin()
+	if got := c.Pinned(); got != 0 {
+		t.Fatalf("Unpin left pin %d", got)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	c, _, _ := startServer(t, 3)
+	ctx := context.Background()
+	v, err := c.PinCurrent(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.QueryBatch(ctx, []BatchQuery{
+		{Q: "lineage of mincost(@'n1','n9',4)"},
+		{Type: "count", Tuple: "mincost(@'n1','n9',4)"},
+		{Q: "count of mincost(@'n1','n9',99)"}, // no provenance
+		{Q: "lineage of mincost(@'n1','n9',4)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != v || len(res.Results) != 4 {
+		t.Fatalf("batch = version %d, %d results", res.Version, len(res.Results))
+	}
+	if r := res.Results[0]; r.Err != nil || r.Result.Proof == nil {
+		t.Fatalf("results[0] = %+v", r)
+	}
+	if r := res.Results[1]; r.Err != nil || r.Result.Count == nil {
+		t.Fatalf("results[1] = %+v", r)
+	}
+	if r := res.Results[2]; r.Err == nil || r.Err.Code != CodeNoProvenance {
+		t.Fatalf("results[2] = %+v", r)
+	}
+	if r := res.Results[3]; r.Err != nil || r.Result.Proof == nil {
+		t.Fatalf("results[3] = %+v", r)
+	}
+	// The repeated lineage was served from the cache its first
+	// occurrence warmed.
+	if res.CacheHits == 0 {
+		t.Fatalf("batch reported no cache hits: %+v", res)
+	}
+}
+
+func TestErrorsAreTyped(t *testing.T) {
+	c, _, _ := startServer(t, 2)
+	ctx := context.Background()
+
+	_, err := c.Nodes(ctx, At(999999))
+	if !IsCode(err, CodeSnapshotEvicted) {
+		t.Fatalf("evicted version error = %v", err)
+	}
+	var ae *APIError
+	if !asAPIError(err, &ae) || ae.Status != 410 {
+		t.Fatalf("evicted version status = %+v", ae)
+	}
+
+	if _, err := c.Lineage(ctx, "mincost(@'n1','n4',99)"); !IsCode(err, CodeNoProvenance) {
+		t.Fatalf("unknown tuple error = %v", err)
+	}
+	if _, err := c.Query(ctx, "explain of mincost(@'n1','n4',2)"); !IsCode(err, CodeInvalidQuery) {
+		t.Fatalf("bad query error = %v", err)
+	}
+	if _, err := c.Lineage(ctx, "mincost(@'n1','n4',2)", WithOptions(Options{MaxDepth: -1})); !IsCode(err, CodeInvalidOption) {
+		t.Fatalf("bad option error = %v", err)
+	}
+	if _, err := c.State(ctx, "ghost"); !IsCode(err, CodeUnknownNode) {
+		t.Fatalf("unknown node error = %v", err)
+	}
+}
+
+func TestClientTimeoutAborts(t *testing.T) {
+	c, _, _ := startServer(t, 4, WithTimeout(time.Nanosecond))
+	// A cold corner-to-corner lineage cannot finish within 1ns: the
+	// server aborts the walk and reports the structured timeout.
+	_, err := c.Lineage(context.Background(), "mincost(@'n1','n16',6)")
+	if !IsCode(err, CodeQueryTimeout) {
+		t.Fatalf("timeout error = %v", err)
+	}
+}
+
+func TestProofDOT(t *testing.T) {
+	c, _, _ := startServer(t, 2)
+	dot, err := c.ProofDOT(context.Background(), "mincost(@'n1','n4',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.Graph, "digraph provenance") || dot.Version == 0 {
+		t.Fatalf("dot = %+v", dot)
+	}
+}

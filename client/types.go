@@ -1,0 +1,175 @@
+package client
+
+import "fmt"
+
+// Wire types of the v1 API. The SDK is self-contained: these mirror
+// docs/API.md, not any internal package, so the module's internals can
+// move without breaking SDK consumers.
+
+// Tuple is one tuple as the API renders it: the relation name, each
+// attribute as its NDlog literal, and the full literal text.
+type Tuple struct {
+	Rel  string   `json:"rel"`
+	Vals []string `json:"vals"`
+	Text string   `json:"text"`
+}
+
+// ProofNode is one tuple vertex of a proof tree.
+type ProofNode struct {
+	Tuple     *Tuple  `json:"tuple,omitempty"`
+	VID       string  `json:"vid"`
+	Loc       string  `json:"loc"`
+	Base      bool    `json:"base,omitempty"`
+	Cycle     bool    `json:"cycle,omitempty"`
+	Pruned    bool    `json:"pruned,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Derivs    []Deriv `json:"derivs,omitempty"`
+}
+
+// Deriv is one derivation step: the rule, where it executed, and the
+// input tuples' sub-proofs.
+type Deriv struct {
+	Rule     string      `json:"rule"`
+	Loc      string      `json:"loc"`
+	RID      string      `json:"rid"`
+	Children []ProofNode `json:"children,omitempty"`
+}
+
+// Stats is the modeled traffic the equivalent live distributed
+// traversal would have sent.
+type Stats struct {
+	Messages int `json:"messages"`
+	Bytes    int `json:"bytes"`
+}
+
+// CacheInfo reports the server's per-snapshot sub-proof cache as
+// observed by one call (from the X-Cache* response headers): whether
+// this query was a hit, plus the snapshot's cumulative counters.
+type CacheInfo struct {
+	Hit    bool
+	Hits   int64
+	Misses int64
+}
+
+// QueryResult is one provenance query's answer. Fields beyond the
+// envelope depend on the query type: Proof/Text for lineage, Bases for
+// bases, Nodes for nodes, Count for count.
+type QueryResult struct {
+	Version   uint64     `json:"version"`
+	TimeUs    int64      `json:"virtualTimeUs"`
+	Type      string     `json:"type"`
+	Pruned    bool       `json:"pruned,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Proof     *ProofNode `json:"proof,omitempty"`
+	Text      string     `json:"text,omitempty"`
+	Bases     []Tuple    `json:"bases,omitempty"`
+	Nodes     []string   `json:"nodes,omitempty"`
+	Count     *int       `json:"count,omitempty"`
+	Stats     Stats      `json:"stats"`
+
+	// Cache is filled from response headers, not the JSON body (bodies
+	// stay byte-identical per snapshot version whether cached or not).
+	Cache CacheInfo `json:"-"`
+}
+
+// Health is GET /v1/healthz.
+type Health struct {
+	OK       bool   `json:"ok"`
+	Protocol string `json:"protocol"`
+	Version  uint64 `json:"version"`
+	TimeUs   int64  `json:"virtualTimeUs"`
+	Nodes    int    `json:"nodes"`
+	Oldest   uint64 `json:"oldestVersion"`
+}
+
+// BuildInfo is GET /v1/version: the server binary's build metadata.
+type BuildInfo struct {
+	Module    string            `json:"module"`
+	Version   string            `json:"version"`
+	GoVersion string            `json:"goVersion"`
+	Settings  map[string]string `json:"settings,omitempty"`
+}
+
+// Node is one element of GET /v1/nodes.
+type Node struct {
+	Addr        string   `json:"addr"`
+	Neighbors   []string `json:"neighbors"`
+	Tuples      int      `json:"tuples"`
+	ProvEntries int      `json:"provEntries"`
+	ExecEntries int      `json:"execEntries"`
+	SentMsgs    int      `json:"sentMsgs"`
+	SentBytes   int      `json:"sentBytes"`
+}
+
+// Nodes is GET /v1/nodes.
+type Nodes struct {
+	Version uint64 `json:"version"`
+	TimeUs  int64  `json:"virtualTimeUs"`
+	Nodes   []Node `json:"nodes"`
+}
+
+// State is GET /v1/state/{node}: one node's materialized tables.
+type State struct {
+	Version uint64             `json:"version"`
+	TimeUs  int64              `json:"virtualTimeUs"`
+	Node    string             `json:"node"`
+	Tables  map[string][]Tuple `json:"tables"`
+}
+
+// DOT is GET /v1/proof.dot: a Graphviz rendering of a lineage proof.
+type DOT struct {
+	// Graph is the DOT document.
+	Graph string
+	// Version is the snapshot the proof was computed against (from the
+	// X-Snapshot-Version header).
+	Version uint64
+	Cache   CacheInfo
+}
+
+// Options tunes a structured query (the "options" object of
+// POST /v1/query).
+type Options struct {
+	Threshold  int  `json:"threshold,omitempty"`
+	Sequential bool `json:"sequential,omitempty"`
+	MaxDepth   int  `json:"maxdepth,omitempty"`
+	MaxNodes   int  `json:"maxnodes,omitempty"`
+}
+
+// APIError is a structured failure from the v1 error envelope. Code is
+// the stable machine-readable contract (e.g. "snapshot_evicted",
+// "query_timeout"); Status is the HTTP status (0 inside a batch result,
+// where elements have no status of their own).
+type APIError struct {
+	Status  int
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("nettrails: %s (%s, http %d)", e.Message, e.Code, e.Status)
+	}
+	return fmt.Sprintf("nettrails: %s (%s)", e.Message, e.Code)
+}
+
+// IsCode reports whether err is (or wraps) an APIError with the given
+// stable code.
+func IsCode(err error, code string) bool {
+	var ae *APIError
+	return asAPIError(err, &ae) && ae.Code == code
+}
+
+// Stable error codes of the v1 API (see docs/API.md for the catalog).
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeInvalidQuery     = "invalid_query"
+	CodeInvalidOption    = "invalid_option"
+	CodeUnknownNode      = "unknown_node"
+	CodeNoProvenance     = "no_provenance"
+	CodeUnknownEndpoint  = "unknown_endpoint"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeSnapshotEvicted  = "snapshot_evicted"
+	CodeQueryCancelled   = "query_cancelled"
+	CodeQueryTimeout     = "query_timeout"
+	CodeInternal         = "internal_error"
+)

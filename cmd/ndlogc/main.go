@@ -15,6 +15,7 @@ import (
 	"os"
 
 	nettrails "repro"
+	"repro/internal/buildinfo"
 )
 
 var builtins = map[string]string{
@@ -27,7 +28,12 @@ var builtins = map[string]string{
 func main() {
 	protocol := flag.String("protocol", "", "builtin protocol: mincost, pathvector, dsr, distancevector")
 	stage := flag.String("stage", "all", "which stage to print: source, localized, provenance, all")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion("ndlogc")
+		return
+	}
 
 	var src string
 	switch {

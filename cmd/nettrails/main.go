@@ -19,6 +19,7 @@ import (
 	"os"
 
 	nettrails "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/protocols"
 	"repro/internal/provquery"
 )
@@ -45,7 +46,12 @@ func main() {
 	showTopo := flag.Bool("topo", false, "print the topology after convergence")
 	textQuery := flag.String("q", "", `textual query, e.g. "lineage of mincost(@'n1','n3',2) with cache"`)
 	dot := flag.Bool("dot", false, "emit lineage results as Graphviz DOT instead of a text tree")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion("nettrails")
+		return
+	}
 	emitDOT = *dot
 
 	programs := map[string]string{

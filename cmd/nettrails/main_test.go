@@ -86,3 +86,15 @@ func TestSmokeTextQuery(t *testing.T) {
 		t.Errorf("bases output missing link tuples:\n%s", out)
 	}
 }
+
+// TestVersionFlag: -version prints the build metadata and exits 0.
+func TestVersionFlag(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-version: %v\n%s", err, out)
+	}
+	if text := string(out); !strings.Contains(text, "repro") || !strings.Contains(text, "go1") {
+		t.Fatalf("-version output = %q", text)
+	}
+}

@@ -11,9 +11,13 @@
 //
 //	nettrailsd -listen 127.0.0.1:8080
 //	nettrailsd -protocol pathvector -topology grid -nodes 16 -churn 100ms
-//	curl -s localhost:8080/healthz
-//	curl -s -X POST localhost:8080/query \
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/query \
 //	     -d '{"q":"lineage of mincost(@'\''n1'\'','\''n3'\'',2)"}'
+//
+// The HTTP surface is versioned under /v1/ (legacy unversioned paths
+// remain as deprecated aliases); repro/client is the typed Go SDK for
+// it. See docs/API.md.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	nettrails "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/protocols"
 	"repro/internal/server"
 )
@@ -52,7 +57,13 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight HTTP queries to finish")
 	maxDepth := flag.Int("maxdepth", 0, "cap the proof depth of every served query (0 = uncapped)")
 	maxNodes := flag.Int("maxnodes", 0, "cap the proof vertices of every served query (0 = uncapped)")
+	timeout := flag.Duration("timeout", 30*time.Second, "server-default deadline for each query's traversal and cap on per-request ?timeout= (0 disables)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion("nettrailsd")
+		return
+	}
 
 	programs := map[string]string{
 		"mincost":        nettrails.MinCost,
@@ -106,6 +117,7 @@ func main() {
 		Protocol: *protocol,
 		MaxDepth: *maxDepth,
 		MaxNodes: *maxNodes,
+		Timeout:  *timeout,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

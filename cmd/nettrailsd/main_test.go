@@ -2,17 +2,17 @@ package main
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"net/http"
+	"context"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/client"
 )
 
 func buildBinary(t *testing.T) string {
@@ -25,11 +25,11 @@ func buildBinary(t *testing.T) string {
 	return bin
 }
 
-// startDaemon launches nettrailsd on an ephemeral port and returns its
-// base URL plus the running process (for signal-driven tests), leaving
-// the process running until test cleanup. The daemon's remaining output
-// accumulates in the returned buffer.
-func startDaemon(t *testing.T, args ...string) (string, *exec.Cmd, *syncBuffer) {
+// startDaemon launches nettrailsd on an ephemeral port and returns an
+// SDK client for it plus the running process (for signal-driven
+// tests), leaving the process running until test cleanup. The daemon's
+// remaining output accumulates in the returned buffer.
+func startDaemon(t *testing.T, args ...string) (*client.Client, *exec.Cmd, *syncBuffer) {
 	t.Helper()
 	bin := buildBinary(t)
 	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
@@ -65,10 +65,14 @@ func startDaemon(t *testing.T, args ...string) (string, *exec.Cmd, *syncBuffer) 
 	}()
 	select {
 	case url := <-urlCh:
-		return url, cmd, out
+		c, err := client.New(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, cmd, out
 	case <-deadline:
 		t.Fatal("daemon never reported its listen address")
-		return "", nil, nil
+		return nil, nil, nil
 	}
 }
 
@@ -97,67 +101,103 @@ func (b *syncBuffer) contains(sub string) bool {
 	return false
 }
 
-// TestSmokeHealthzAndQuery boots the daemon on the quickstart scenario
-// (MINCOST, 3-node line) and drives the two core endpoints.
-func TestSmokeHealthzAndQuery(t *testing.T) {
-	url, _, _ := startDaemon(t, "-protocol", "mincost", "-topology", "line", "-nodes", "3")
+// TestVersionFlag: -version prints the build metadata and exits 0
+// without starting a server.
+func TestVersionFlag(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-version: %v\n%s", err, out)
+	}
+	if text := string(out); !strings.Contains(text, "repro") || !strings.Contains(text, "go1") {
+		t.Fatalf("-version output = %q", text)
+	}
+}
 
-	resp, err := http.Get(url + "/healthz")
+// TestSmokeSDKEndToEnd boots the daemon on the quickstart scenario
+// (MINCOST, 3-node line) and drives the full v1 surface through the
+// public Go SDK: health, build info, nodes, state, textual and typed
+// queries, batch, and DOT export.
+func TestSmokeSDKEndToEnd(t *testing.T) {
+	c, _, _ := startDaemon(t, "-protocol", "mincost", "-topology", "line", "-nodes", "3")
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var h struct {
-		OK      bool   `json:"ok"`
-		Nodes   int    `json:"nodes"`
-		Version uint64 `json:"version"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if !h.OK || h.Nodes != 3 || h.Version == 0 {
-		t.Fatalf("healthz = %+v", h)
+		t.Fatalf("health = %+v", h)
 	}
 
-	resp, err = http.Post(url+"/query", "application/json",
-		strings.NewReader(`{"q":"lineage of mincost(@'n1','n3',2)"}`))
+	bi, err := c.ServerVersion(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("query status %d", resp.StatusCode)
+	if bi.Module != "repro" || !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Fatalf("server version = %+v", bi)
 	}
-	var q struct {
-		Type  string          `json:"type"`
-		Proof json.RawMessage `json:"proof"`
-		Text  string          `json:"text"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+
+	ns, err := c.Nodes(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Type != "lineage" || len(q.Proof) == 0 || !strings.Contains(q.Text, "mincost(@n1, n3, 2)") {
-		t.Fatalf("query = %+v", q)
+	if len(ns.Nodes) != 3 || ns.Nodes[0].Addr != "n1" {
+		t.Fatalf("nodes = %+v", ns)
+	}
+
+	st, err := c.State(ctx, "n1", client.Rel("mincost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tables["mincost"]) == 0 {
+		t.Fatalf("state = %+v", st)
+	}
+
+	res, err := c.Query(ctx, "lineage of mincost(@'n1','n3',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Type != "lineage" || res.Proof == nil || !strings.Contains(res.Text, "mincost(@n1, n3, 2)") {
+		t.Fatalf("query = %+v", res)
+	}
+
+	batch, err := c.QueryBatch(ctx, []client.BatchQuery{
+		{Q: "bases of mincost(@'n1','n3',2)"},
+		{Type: "count", Tuple: "mincost(@'n1','n3',2)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 || batch.Results[0].Err != nil || batch.Results[1].Result.Count == nil {
+		t.Fatalf("batch = %+v", batch)
+	}
+
+	dot, err := c.ProofDOT(ctx, "mincost(@'n1','n3',2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.Graph, "digraph provenance") {
+		t.Fatalf("dot = %+v", dot)
+	}
+
+	// Typed errors flow through the daemon too.
+	if _, err := c.Lineage(ctx, "mincost(@'n1','n3',99)"); !client.IsCode(err, client.CodeNoProvenance) {
+		t.Fatalf("unknown tuple error = %v", err)
 	}
 }
 
 // TestSmokeChurnAdvancesVersionsAndPinnedReadsAgree checks the daemon
-// end to end: churn advances snapshot versions while concurrent
-// version-pinned queries stay byte-identical.
+// end to end through the SDK: churn advances snapshot versions while
+// concurrent version-pinned queries return identical results.
 func TestSmokeChurnAdvancesVersionsAndPinnedReadsAgree(t *testing.T) {
-	url, _, _ := startDaemon(t, "-protocol", "mincost", "-topology", "ring", "-nodes", "4",
+	c, _, _ := startDaemon(t, "-protocol", "mincost", "-topology", "ring", "-nodes", "4",
 		"-churn", "30ms")
+	ctx := context.Background()
 
 	version := func() uint64 {
-		resp, err := http.Get(url + "/healthz")
+		h, err := c.Health(ctx)
 		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var h struct {
-			Version uint64 `json:"version"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 			t.Fatal(err)
 		}
 		return h.Version
@@ -174,33 +214,34 @@ func TestSmokeChurnAdvancesVersionsAndPinnedReadsAgree(t *testing.T) {
 
 	// Pin whatever is current and read it twice concurrently.
 	v := version()
-	body := fmt.Sprintf(`{"q":"bases of mincost(@'n1','n3',2)","version":%d}`, v)
 	var wg sync.WaitGroup
-	replies := make([][]byte, 2)
-	codes := make([]int, 2)
+	replies := make([]*client.QueryResult, 2)
+	errs := make([]error, 2)
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Post(url+"/query", "application/json", strings.NewReader(body))
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			defer resp.Body.Close()
-			var buf bytes.Buffer
-			if _, err := buf.ReadFrom(resp.Body); err != nil {
-				t.Error(err)
-				return
-			}
-			codes[i] = resp.StatusCode
-			replies[i] = buf.Bytes()
+			replies[i], errs[i] = c.Bases(ctx, "mincost(@'n1','n3',2)", client.At(v))
 		}(i)
 	}
 	wg.Wait()
-	if codes[0] != codes[1] || !bytes.Equal(replies[0], replies[1]) {
-		t.Fatalf("pinned reads diverged:\n%d %s\nvs\n%d %s",
-			codes[0], replies[0], codes[1], replies[1])
+	for i, err := range errs {
+		// The pinned version may age out mid-flight under churn; that
+		// is a clean, typed outcome, not a failure.
+		if err != nil && !client.IsCode(err, client.CodeSnapshotEvicted) {
+			t.Fatalf("pinned read %d: %v", i, err)
+		}
+	}
+	if errs[0] == nil && errs[1] == nil {
+		// Cache observability differs per request; the snapshot-determined
+		// payload must not.
+		replies[0].Cache, replies[1].Cache = client.CacheInfo{}, client.CacheInfo{}
+		if !reflect.DeepEqual(replies[0], replies[1]) {
+			t.Fatalf("pinned reads diverged:\n%+v\nvs\n%+v", replies[0], replies[1])
+		}
+		if replies[0].Version != v {
+			t.Fatalf("pinned read answered version %d, want %d", replies[0].Version, v)
+		}
 	}
 }
 
@@ -209,15 +250,13 @@ func TestSmokeChurnAdvancesVersionsAndPinnedReadsAgree(t *testing.T) {
 // queries drain through http.Server.Shutdown, and the process reports
 // "stopped" with exit status 0 instead of dying mid-epoch.
 func TestGracefulShutdown(t *testing.T) {
-	url, cmd, out := startDaemon(t, "-protocol", "mincost", "-topology", "ring", "-nodes", "4",
+	c, cmd, out := startDaemon(t, "-protocol", "mincost", "-topology", "ring", "-nodes", "4",
 		"-churn", "20ms", "-drain", "10s")
 
 	// Make sure the daemon is really serving (and churning) first.
-	resp, err := http.Get(url + "/healthz")
-	if err != nil {
+	if _, err := c.Health(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	time.Sleep(60 * time.Millisecond) // let at least one churn tick land
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -238,7 +277,7 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatalf("missing shutdown messages in output: %v", out.lines)
 	}
 	// The listener must actually be gone.
-	if _, err := http.Get(url + "/healthz"); err == nil {
+	if _, err := c.Health(context.Background()); err == nil {
 		t.Fatal("daemon still serving after clean exit")
 	}
 }

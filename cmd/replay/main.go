@@ -17,6 +17,7 @@ import (
 	"os"
 
 	nettrails "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/viz"
 )
 
@@ -29,7 +30,12 @@ func main() {
 	demo := flag.String("demo", "mincost", "mincost or bgp")
 	at := flag.Int("at", -1, "inspect the i-th captured instant (default: replay all)")
 	node := flag.String("node", "n1", "node to inspect at -at")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion("replay")
+		return
+	}
 
 	switch *demo {
 	case "mincost":

@@ -55,3 +55,15 @@ func TestSmokeBGPReplay(t *testing.T) {
 		t.Errorf("unexpected BGP replay output:\n%s", out)
 	}
 }
+
+// TestVersionFlag: -version prints the build metadata and exits 0.
+func TestVersionFlag(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-version: %v\n%s", err, out)
+	}
+	if text := string(out); !strings.Contains(text, "repro") || !strings.Contains(text, "go1") {
+		t.Fatalf("-version output = %q", text)
+	}
+}

@@ -1,0 +1,77 @@
+// Package buildinfo exposes the binary's embedded build metadata —
+// module path and version, the Go toolchain, and selected build
+// settings — in one place for the four cmd/ binaries' -version flags
+// and the HTTP API's GET /v1/version endpoint.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Info is the build metadata of the running binary.
+type Info struct {
+	// Module is the main module path (e.g. "repro").
+	Module string `json:"module"`
+	// Version is the main module version; "(devel)" for source builds.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Settings carries the build settings debug.ReadBuildInfo records
+	// (vcs revision, build flags, target platform, ...).
+	Settings map[string]string `json:"settings,omitempty"`
+}
+
+// Get reads the running binary's build information. Binaries built
+// without module support (never the case for this repo) fall back to
+// the runtime version alone.
+func Get() Info {
+	info := Info{Version: "(unknown)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	if len(bi.Settings) > 0 {
+		info.Settings = make(map[string]string, len(bi.Settings))
+		for _, s := range bi.Settings {
+			if s.Value != "" {
+				info.Settings[s.Key] = s.Value
+			}
+		}
+	}
+	return info
+}
+
+// String renders the info as the one-line form the -version flags
+// print: "name module/version go1.x (key=value ...)" with only the
+// identifying settings included.
+func (i Info) String() string {
+	parts := []string{i.Module, i.Version, i.GoVersion}
+	var settings []string
+	for _, key := range []string{"vcs.revision", "vcs.time", "GOOS", "GOARCH"} {
+		if v, ok := i.Settings[key]; ok {
+			settings = append(settings, key+"="+v)
+		}
+	}
+	sort.Strings(settings)
+	if len(settings) > 0 {
+		parts = append(parts, "("+strings.Join(settings, " ")+")")
+	}
+	return strings.Join(parts, " ")
+}
+
+// PrintVersion writes "name: <info>" to stdout — the body of every
+// cmd/ binary's -version flag.
+func PrintVersion(name string) {
+	fmt.Printf("%s: %s\n", name, Get())
+}

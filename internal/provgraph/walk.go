@@ -1,6 +1,9 @@
 package provgraph
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/provenance"
 	"repro/internal/rel"
 )
@@ -49,13 +52,54 @@ type Walk struct {
 	Type QueryType
 	Opts Options
 	src  Source
+	ctx  context.Context
 
 	resolved int // tuple vertices resolved so far (MaxNodes budget)
+	err      error
 }
 
-// NewWalk prepares a traversal of the given type over src.
+// NewWalk prepares a traversal of the given type over src, without a
+// cancellation context (the walk runs to completion).
 func NewWalk(src Source, typ QueryType, opts Options) *Walk {
-	return &Walk{Type: typ, Opts: opts, src: src}
+	return NewWalkContext(context.Background(), src, typ, opts)
+}
+
+// NewWalkContext prepares a traversal whose expansion aborts once ctx
+// is cancelled or its deadline passes. The walk still unwinds cleanly —
+// every outstanding continuation fires with an empty sub-result — but
+// the final result is partial and Err reports why; adapters must turn
+// an aborted walk into an error, never into a Result.
+func NewWalkContext(ctx context.Context, src Source, typ QueryType, opts Options) *Walk {
+	return &Walk{Type: typ, Opts: opts, src: src, ctx: ctx}
+}
+
+// Err returns nil while the walk is live, and the context's error once
+// cancellation or a deadline stopped the traversal mid-walk.
+func (w *Walk) Err() error { return w.err }
+
+// Resolved returns how many tuple vertices the walk has resolved so
+// far — the cancellation tests use it to prove an aborted walk stopped
+// early instead of draining the whole graph.
+func (w *Walk) Resolved() int { return w.resolved }
+
+// abort checks the walk's context; once it fires, every pending
+// expansion short-circuits with an empty sub-result so the in-flight
+// continuation tree drains immediately. The deadline is compared
+// directly instead of waiting for ctx.Err(), so a passed deadline
+// aborts at the very next vertex regardless of timer granularity.
+func (w *Walk) abort(cont func(SubResult)) bool {
+	if w.err == nil {
+		if err := w.ctx.Err(); err != nil {
+			w.err = err
+		} else if d, ok := w.ctx.Deadline(); ok && !time.Now().Before(d) {
+			w.err = context.DeadlineExceeded
+		}
+	}
+	if w.err != nil {
+		cont(SubResult{Nodes: map[string]bool{}})
+		return true
+	}
+	return false
 }
 
 func (w *Walk) useCache() bool { return w.Opts.UseCache && !w.Opts.Limited() }
@@ -68,6 +112,9 @@ func (w *Walk) cacheKey(vid rel.ID) CacheKey {
 // cycle detection on the visited path, traversal limits, per-node cache
 // lookup, threshold pruning, and one derivation branch per prov entry.
 func (w *Walk) ResolveTuple(loc string, vid rel.ID, visited []rel.ID, cont func(SubResult)) {
+	if w.abort(cont) {
+		return
+	}
 	for _, seen := range visited {
 		if seen == vid {
 			tuple, _ := w.src.TupleOf(loc, vid)
@@ -136,7 +183,8 @@ func (w *Walk) ResolveTuple(loc string, vid rel.ID, visited []rel.ID, cont func(
 		for _, r := range results {
 			MergeInto(&acc, r)
 		}
-		if w.useCache() {
+		// An aborted walk's accumulator is partial: never cache it.
+		if w.useCache() && w.err == nil {
 			w.src.CachePut(loc, w.cacheKey(vid), acc)
 		}
 		cont(acc)
@@ -147,6 +195,9 @@ func (w *Walk) ResolveTuple(loc string, vid rel.ID, visited []rel.ID, cont func(
 // all its input tuples are local; each is resolved (possibly recursing
 // to other nodes) and combined into a derivation-level result.
 func (w *Walk) ExpandExecLocal(loc string, rid rel.ID, visited []rel.ID, cont func(SubResult)) {
+	if w.abort(cont) {
+		return
+	}
 	exec, ok := w.src.Exec(loc, rid)
 	if !ok {
 		cont(MissingResult(rid, loc))

@@ -18,6 +18,8 @@
 package provquery
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/engine"
@@ -57,6 +59,18 @@ const (
 
 // MsgKind is the simnet message kind used by query traffic.
 const MsgKind = "provquery"
+
+// Sentinel errors wrapped by every query entry point, so serving
+// layers can map failures to distinct API error codes with errors.Is
+// instead of string matching.
+var (
+	// ErrUnknownNode: the starting node does not exist in this system
+	// or snapshot.
+	ErrUnknownNode = errors.New("unknown node")
+	// ErrNoProvenance: the node exists but records no provenance for
+	// the queried tuple.
+	ErrNoProvenance = errors.New("no provenance")
+)
 
 type request struct {
 	qid     uint64
@@ -136,24 +150,35 @@ func Attach(eng *engine.Engine) (*Client, error) {
 // Query runs a provenance query for the tuple at its owning node and
 // drives the network until the result is complete.
 func (c *Client) Query(typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
+	return c.QueryContext(context.Background(), typ, at, t, opts)
+}
+
+// QueryContext is Query with cancellation: once ctx is cancelled or
+// its deadline passes, the walk stops expanding — every in-flight
+// sub-query unwinds with an empty result — and the call returns an
+// error wrapping ctx.Err() instead of a partial Result.
+func (c *Client) QueryContext(ctx context.Context, typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
 	svc, ok := c.services[at]
 	if !ok {
-		return nil, fmt.Errorf("provquery: unknown node %s", at)
+		return nil, fmt.Errorf("provquery: %w %s", ErrUnknownNode, at)
 	}
 	vid := t.VID()
 	if _, ok := svc.store.Derivations(vid); !ok {
-		return nil, fmt.Errorf("provquery: tuple %s has no provenance at %s", t, at)
+		return nil, fmt.Errorf("provquery: tuple %s has %w at %s", t, ErrNoProvenance, at)
 	}
 	c.cacheHits = 0
 	startMsgs, startBytes, _ := kindTotals(c.eng.Net)
 	startTime := c.eng.Net.Now()
 
-	w := provgraph.NewWalk(liveSource{c}, typ, opts)
+	w := provgraph.NewWalkContext(ctx, liveSource{c}, typ, opts)
 	c.walk = w
 	defer func() { c.walk = nil }()
 	var out *provgraph.SubResult
 	w.ResolveTuple(at, vid, nil, func(r provgraph.SubResult) { out = &r })
 	c.eng.Net.Run(0)
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("provquery: query for %s aborted after %d vertices: %w", t, w.Resolved(), err)
+	}
 	if out == nil {
 		return nil, fmt.Errorf("provquery: query for %s did not complete", t)
 	}

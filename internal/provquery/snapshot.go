@@ -1,6 +1,7 @@
 package provquery
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/provenance"
@@ -60,18 +61,29 @@ func NewSnapshotClient(views map[string]PartitionView) *SnapshotClient {
 // per-node caches belong to live nodes, and serving-layer memoization
 // is provided per snapshot version by internal/server instead.
 func (c *SnapshotClient) Query(typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
+	return c.QueryContext(context.Background(), typ, at, t, opts)
+}
+
+// QueryContext is Query with cancellation: once ctx is cancelled or
+// its deadline passes, the synchronous walk stops expanding at the
+// next vertex and the call returns an error wrapping ctx.Err() instead
+// of a partial Result.
+func (c *SnapshotClient) QueryContext(ctx context.Context, typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
 	v, ok := c.views[at]
 	if !ok {
-		return nil, fmt.Errorf("provquery: unknown node %s", at)
+		return nil, fmt.Errorf("provquery: %w %s", ErrUnknownNode, at)
 	}
 	vid := t.VID()
 	if _, ok := v.Derivations(vid); !ok {
-		return nil, fmt.Errorf("provquery: tuple %s has no provenance at %s", t, at)
+		return nil, fmt.Errorf("provquery: tuple %s has %w at %s", t, ErrNoProvenance, at)
 	}
 	src := &snapSource{views: c.views}
-	w := provgraph.NewWalk(src, typ, opts)
+	w := provgraph.NewWalkContext(ctx, src, typ, opts)
 	var out provgraph.SubResult
 	w.ResolveTuple(at, vid, nil, func(r provgraph.SubResult) { out = r })
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("provquery: query for %s aborted after %d vertices: %w", t, w.Resolved(), err)
+	}
 	res := provgraph.NewResult(typ, out)
 	res.Stats = Stats{Messages: src.msgs, Bytes: src.bytes}
 	return res, nil

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The v1 API reports every failure as one machine-readable envelope:
+//
+//	{"error": {"code": "snapshot_evicted", "message": "version 3 not retained ..."}}
+//
+// The code is a stable contract — clients branch on it; the message is
+// human-readable detail and may change freely. Legacy routes share the
+// handlers, so they emit the identical envelope.
+const (
+	// ErrInvalidRequest: malformed body or parameters (400).
+	ErrInvalidRequest = "invalid_request"
+	// ErrInvalidQuery: the query text, tuple literal, or query type
+	// failed to parse (400).
+	ErrInvalidQuery = "invalid_query"
+	// ErrInvalidOption: a traversal option (maxdepth/maxnodes/threshold)
+	// or ?timeout= value is out of range (400).
+	ErrInvalidOption = "invalid_option"
+	// ErrUnknownNode: no such node in the snapshot (404).
+	ErrUnknownNode = "unknown_node"
+	// ErrNoProvenance: the tuple has no provenance at the queried node
+	// in the pinned snapshot (404).
+	ErrNoProvenance = "no_provenance"
+	// ErrUnknownEndpoint: unmatched path (404).
+	ErrUnknownEndpoint = "unknown_endpoint"
+	// ErrMethodNotAllowed: wrong HTTP method (405, with an Allow header).
+	ErrMethodNotAllowed = "method_not_allowed"
+	// ErrSnapshotEvicted: the pinned version aged out of the retention
+	// ring (410).
+	ErrSnapshotEvicted = "snapshot_evicted"
+	// ErrQueryCancelled: the client went away mid-walk; the traversal
+	// was aborted (499, nginx's client-closed-request convention).
+	ErrQueryCancelled = "query_cancelled"
+	// ErrQueryTimeout: the ?timeout=/server-default deadline expired
+	// mid-walk (504).
+	ErrQueryTimeout = "query_timeout"
+	// ErrInternal: a server-side fault the client cannot fix by
+	// changing the request (500).
+	ErrInternal = "internal_error"
+)
+
+// StatusClientClosedRequest is the non-standard 499 status reported
+// when a cancelled client connection aborts a traversal. The client is
+// gone, so the code is for logs and tests, not for the caller.
+const StatusClientClosedRequest = 499
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// apiError is a failure travelling inside a handler before it is
+// rendered: status code, stable error code, human message.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, code, format string, args ...interface{}) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// ctxError maps a context failure observed mid-walk to its structured
+// API error; ok is false for every other error.
+func ctxError(err error) (*apiError, bool) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return errf(http.StatusGatewayTimeout, ErrQueryTimeout, "%v", err), true
+	case errors.Is(err, context.Canceled):
+		return errf(StatusClientClosedRequest, ErrQueryCancelled, "%v", err), true
+	}
+	return nil, false
+}
+
+// writeAPIError renders an apiError as the uniform envelope.
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, errorEnvelope{Error: errorBody{Code: e.code, Message: e.msg}})
+}
+
+// writeErr is the one-shot form of writeAPIError.
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	writeAPIError(w, errf(status, code, format, args...))
+}
+
+// marshalError renders an apiError as a compact JSON envelope — the
+// per-item error form inside a batch response.
+func marshalError(e *apiError) json.RawMessage {
+	b, _ := json.Marshal(errorEnvelope{Error: errorBody{Code: e.code, Message: e.msg}})
+	return b
+}

@@ -1,11 +1,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/provquery"
 	"repro/internal/rel"
 	"repro/internal/simnet"
@@ -24,11 +31,22 @@ type Info struct {
 	// the result is marked truncated where the cap bites.
 	MaxDepth int
 	MaxNodes int
+	// Timeout is the server-default deadline for each query's
+	// traversal, and the cap on the per-request ?timeout= override
+	// (tighter requests win, looser ones are clamped). 0 means no
+	// default deadline and no cap. A deadline that expires mid-walk
+	// aborts the traversal with a structured query_timeout error;
+	// a client disconnect aborts it with query_cancelled.
+	Timeout time.Duration
 }
 
-// Server is the HTTP JSON face of a Publisher. All handlers read
-// published snapshots only; none ever touches live engine state, so
-// any number of requests run concurrently with the simulation.
+// Server is the HTTP JSON face of a Publisher. The canonical surface
+// is versioned under /v1/; the original unversioned routes remain as
+// thin deprecated aliases that run the identical handlers (so their
+// bodies stay byte-identical) while flagging themselves with a
+// Deprecation header. All handlers read published snapshots only; none
+// ever touches live engine state, so any number of requests run
+// concurrently with the simulation.
 type Server struct {
 	pub  *Publisher
 	info Info
@@ -38,28 +56,49 @@ type Server struct {
 // New builds the HTTP API over a publisher.
 func New(pub *Publisher, info Info) *Server {
 	s := &Server{pub: pub, info: info, mux: http.NewServeMux()}
-	s.route("GET", "/healthz", s.handleHealthz)
-	s.route("GET", "/nodes", s.handleNodes)
-	s.route("GET", "/state/{node}", s.handleState)
-	s.route("POST", "/query", s.handleQuery)
-	s.route("GET", "/proof.dot", s.handleProofDOT)
+	s.route("GET", "/healthz", s.handleHealthz, true)
+	s.route("GET", "/nodes", s.handleNodes, true)
+	s.route("GET", "/state/{node}", s.handleState, true)
+	s.route("POST", "/query", s.handleQuery, true)
+	s.route("GET", "/proof.dot", s.handleProofDOT, true)
+	// v1-only endpoints: no legacy alias ever existed for these.
+	s.route("GET", "/version", s.handleVersion, false)
+	s.route("POST", "/query/batch", s.handleQueryBatch, false)
 	// Anything else is a structured JSON 404, not the mux's plain-text
 	// default.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeErr(w, http.StatusNotFound, "unknown endpoint %s", r.URL.Path)
+		writeErr(w, http.StatusNotFound, ErrUnknownEndpoint, "unknown endpoint %s", r.URL.Path)
 	})
 	return s
 }
 
-// route registers a handler for one method and a structured JSON 405
-// (with the Allow header) for every other method on the same pattern.
-func (s *Server) route(method, pattern string, h http.HandlerFunc) {
-	s.mux.HandleFunc(method+" "+pattern, h)
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+// route registers a handler for one method under /v1/<pattern> — plus,
+// when legacy is set, under the pre-v1 path as a deprecated alias —
+// and a structured JSON 405 (with the Allow header) for every other
+// method on the same patterns.
+func (s *Server) route(method, pattern string, h http.HandlerFunc, legacy bool) {
+	notAllowed := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", method)
-		writeErr(w, http.StatusMethodNotAllowed,
+		writeErr(w, http.StatusMethodNotAllowed, ErrMethodNotAllowed,
 			"method %s not allowed on %s (allow %s)", r.Method, r.URL.Path, method)
-	})
+	}
+	s.mux.HandleFunc(method+" /v1"+pattern, h)
+	s.mux.HandleFunc("/v1"+pattern, notAllowed)
+	if legacy {
+		s.mux.HandleFunc(method+" "+pattern, deprecated(h))
+		s.mux.HandleFunc(pattern, notAllowed)
+	}
+}
+
+// deprecated wraps a canonical handler for its legacy mount: the body
+// is produced by the very same handler (byte-identical to the /v1
+// twin), with headers announcing the successor route.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
 }
 
 // clampOpts applies the server's traversal caps to a request's options.
@@ -71,6 +110,55 @@ func (s *Server) clampOpts(o provquery.Options) provquery.Options {
 		o.MaxNodes = s.info.MaxNodes
 	}
 	return o
+}
+
+// maxOptionValue bounds request-supplied traversal options. Values
+// past it cannot describe a real proof in any scenario this system
+// runs; they are configuration mistakes and are rejected up front
+// rather than silently accepted.
+const maxOptionValue = 1 << 20
+
+// validateOptions rejects out-of-range traversal options at the API
+// boundary: negative values (which the walk would silently treat as
+// "unlimited") and absurdly large ones. The textual grammar rejects
+// these at parse time; this guards the structured form.
+func validateOptions(o provquery.Options) *apiError {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"threshold", o.Threshold}, {"maxdepth", o.MaxDepth}, {"maxnodes", o.MaxNodes}} {
+		if f.v < 0 {
+			return errf(http.StatusBadRequest, ErrInvalidOption,
+				"%s must be >= 0, got %d", f.name, f.v)
+		}
+		if f.v > maxOptionValue {
+			return errf(http.StatusBadRequest, ErrInvalidOption,
+				"%s %d exceeds the maximum %d", f.name, f.v, maxOptionValue)
+		}
+	}
+	return nil
+}
+
+// queryContext derives the traversal context for one request: the
+// client's own context (so a disconnect cancels the walk) bounded by
+// the ?timeout= deadline or the server default, whichever is tighter.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc, *apiError) {
+	d := s.info.Timeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		td, err := time.ParseDuration(raw)
+		if err != nil || td <= 0 {
+			return nil, nil, errf(http.StatusBadRequest, ErrInvalidOption,
+				"bad timeout %q (want a positive Go duration like 500ms)", raw)
+		}
+		if d == 0 || td < d {
+			d = td
+		}
+	}
+	if d > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
 }
 
 // Handler returns the root handler for http.Serve.
@@ -140,10 +228,6 @@ func jsonProof(p *provquery.ProofNode) proofJSON {
 	return out
 }
 
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -152,35 +236,92 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
-}
-
-// snapshotFor resolves the snapshot a request is pinned to: the
-// ?version= query parameter (or, for /query, the JSON field) selects a
-// retained version; absent or 0 means current. A missing version
-// reports 410 Gone with the retained range.
-func (s *Server) snapshotFor(w http.ResponseWriter, version uint64) (*Snapshot, bool) {
+// snapshotAt resolves the snapshot a request is pinned to: an explicit
+// version selects a retained one; absent or 0 means current. A missing
+// version is the structured snapshot_evicted 410 with the retained
+// range.
+func (s *Server) snapshotAt(version uint64) (*Snapshot, *apiError) {
 	snap, ok := s.pub.At(version)
 	if !ok {
 		oldest, newest := s.pub.Versions()
-		writeErr(w, http.StatusGone,
+		return nil, errf(http.StatusGone, ErrSnapshotEvicted,
 			"version %d not retained (oldest %d, newest %d)", version, oldest, newest)
-		return nil, false
 	}
-	return snap, true
+	return snap, nil
 }
 
-func versionParam(r *http.Request) (uint64, error) {
+func versionParam(r *http.Request) (uint64, *apiError) {
 	raw := r.URL.Query().Get("version")
 	if raw == "" {
 		return 0, nil
 	}
 	v, err := strconv.ParseUint(raw, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("bad version %q", raw)
+		return 0, errf(http.StatusBadRequest, ErrInvalidRequest, "bad version %q", raw)
 	}
 	return v, nil
+}
+
+// ---- conditional GETs --------------------------------------------------
+
+// requestETag is the strong validator of a snapshot-determined GET
+// response. Snapshots are immutable and response bodies are a pure
+// function of (resolved version, path, parameters), so the ETag never
+// needs to see the body — conditional requests are answered before any
+// traversal work. The /v1 prefix is stripped and the version parameter
+// replaced by the resolved version, so a legacy alias, its /v1 twin,
+// and pinned/current spellings of the same snapshot all validate
+// against the same tag.
+func requestETag(snap *Snapshot, r *http.Request) string {
+	q := r.URL.Query()
+	q.Del("version")
+	// The timeout bounds evaluation wall-clock, never the body: two
+	// clients with different timeouts must revalidate each other.
+	q.Del("timeout")
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, strings.TrimPrefix(r.URL.Path, "/v1"))
+	_, _ = io.WriteString(h, "?")
+	_, _ = io.WriteString(h, q.Encode()) // Encode sorts keys: canonical
+	return fmt.Sprintf(`"%d-%016x"`, snap.Version, h.Sum64())
+}
+
+// etagMatches compares If-None-Match candidates against the computed
+// tag. The "*" form is deliberately not honored: it matches only when
+// a current representation exists (RFC 9110), and condGET runs before
+// node/tuple existence checks — answering 304 for a resource whose
+// unconditional GET is a 404 would pin stale caches forever. Declining
+// "*" merely costs the full body.
+func etagMatches(ifNoneMatch, etag string) bool {
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		if strings.TrimSpace(cand) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// condGET resolves a GET request's pinned snapshot and runs the
+// conditional-GET machinery: the response's ETag is always set, and a
+// matching If-None-Match is answered 304 with no body (done=true, with
+// every validation error already written).
+func (s *Server) condGET(w http.ResponseWriter, r *http.Request) (*Snapshot, bool) {
+	version, apiErr := versionParam(r)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return nil, true
+	}
+	snap, apiErr := s.snapshotAt(version)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return nil, true
+	}
+	etag := requestETag(snap, r)
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return nil, true
+	}
+	return snap, false
 }
 
 // ---- endpoints ---------------------------------------------------------
@@ -207,6 +348,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleVersion reports the server binary's build metadata
+// (debug.ReadBuildInfo): module path/version, Go toolchain, and build
+// settings.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, buildinfo.Get())
+}
+
 type nodeJSON struct {
 	Addr        string   `json:"addr"`
 	Neighbors   []string `json:"neighbors"`
@@ -224,13 +372,8 @@ type nodesJSON struct {
 }
 
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
-	version, err := versionParam(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	snap, ok := s.snapshotFor(w, version)
-	if !ok {
+	snap, done := s.condGET(w, r)
+	if done {
 		return
 	}
 	// Nodes is always a JSON array, never null.
@@ -258,19 +401,14 @@ type stateJSON struct {
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
-	version, err := versionParam(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	snap, ok := s.snapshotFor(w, version)
-	if !ok {
+	snap, done := s.condGET(w, r)
+	if done {
 		return
 	}
 	addr := r.PathValue("node")
 	tables, ok := snap.NodeTables(addr)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown node %q", addr)
+		writeErr(w, http.StatusNotFound, ErrUnknownNode, "unknown node %q", addr)
 		return
 	}
 	out := stateJSON{Version: snap.Version, Time: int64(snap.Time), Node: addr}
@@ -280,13 +418,13 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("t"); raw != "" {
 		us, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad virtual time %q", raw)
+			writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad virtual time %q", raw)
 			return
 		}
 		view := snap.History.At(simnet.Time(us))
 		sn, ok := view[addr]
 		if !ok {
-			writeErr(w, http.StatusNotFound,
+			writeErr(w, http.StatusNotFound, ErrUnknownNode,
 				"no capture of %q at or before t=%dus in the retained history", addr, us)
 			return
 		}
@@ -309,8 +447,10 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// queryRequest is the /query body. Either q (the textual query
-// language) or type+tuple (structured form) must be set.
+// queryRequest is the /query body (and one element of a batch's
+// queries array). Either q (the textual query language) or type+tuple
+// (structured form) must be set. Inside a batch, version must be unset
+// — the batch pins one snapshot for every query it carries.
 type queryRequest struct {
 	Q       string `json:"q,omitempty"`
 	Type    string `json:"type,omitempty"`
@@ -333,8 +473,9 @@ type queryStatsJSON struct {
 // queryResponse is the /query body. It contains only version-determined
 // fields: two requests pinned to the same snapshot version always get
 // byte-identical bodies, whether served from the sub-proof cache or by
-// a fresh traversal. Cache observability travels in the X-Cache,
-// X-Cache-Hits, and X-Cache-Misses response headers instead.
+// a fresh traversal — and a batch result element renders the identical
+// JSON for the identical query. Cache observability travels in the
+// X-Cache, X-Cache-Hits, and X-Cache-Misses response headers instead.
 type queryResponse struct {
 	Version   uint64         `json:"version"`
 	Time      int64          `json:"virtualTimeUs"`
@@ -378,43 +519,27 @@ func resolveTupleAt(lit, at string) (rel.Tuple, string, error) {
 	return t, at, nil
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	snap, ok := s.snapshotFor(w, req.Version)
-	if !ok {
-		return
-	}
-
-	// Resolve both request forms to (type, tuple, at, opts) before
-	// evaluating, so every malformed query is a 400 and only missing
-	// provenance is a 404.
-	var typ provquery.QueryType
-	var t rel.Tuple
-	var at string
-	var opts provquery.Options
+// resolveRequest turns one query request body into walk inputs: both
+// request forms reduce to (type, tuple, at, opts) before any
+// evaluation, so every malformed query is a 400 and only missing
+// provenance is a 404.
+func resolveRequest(req *queryRequest) (typ provquery.QueryType, t rel.Tuple, at string, opts provquery.Options, apiErr *apiError) {
 	switch {
 	case req.Q != "":
 		parsed, err := provquery.ParseQuery(req.Q)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
+			return 0, rel.Tuple{}, "", opts, errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
 		}
 		typ, t, at, opts = parsed.Type, parsed.Tuple, parsed.At, parsed.Opts
 	case req.Type != "" && req.Tuple != "":
 		var err error
 		typ, err = provquery.ParseQueryType(req.Type)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
+			return 0, rel.Tuple{}, "", opts, errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
 		}
 		t, at, err = resolveTupleAt(req.Tuple, req.At)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
+			return 0, rel.Tuple{}, "", opts, errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
 		}
 		opts = provquery.Options{
 			Threshold:  req.Options.Threshold,
@@ -423,20 +548,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			MaxNodes:   req.Options.MaxNodes,
 		}
 	default:
-		writeErr(w, http.StatusBadRequest, `need "q" or "type"+"tuple"`)
-		return
+		return 0, rel.Tuple{}, "", opts,
+			errf(http.StatusBadRequest, ErrInvalidRequest, `need "q" or "type"+"tuple"`)
 	}
+	if apiErr := validateOptions(opts); apiErr != nil {
+		return 0, rel.Tuple{}, "", opts, apiErr
+	}
+	return typ, t, at, opts, nil
+}
 
-	res, hit, err := snap.CachedQuery(typ, at, t, s.clampOpts(opts))
+// evalQuery runs one resolved query against snap (through the
+// per-version sub-proof cache) and renders the version-determined
+// response.
+// queryError maps a traversal failure to its stable API error: the
+// one mapping shared by every query-evaluating endpoint, so the same
+// defect never earns different codes on different routes.
+func queryError(err error) *apiError {
+	if ce, ok := ctxError(err); ok {
+		return ce
+	}
+	if errors.Is(err, provquery.ErrUnknownNode) {
+		return errf(http.StatusNotFound, ErrUnknownNode, "%v", err)
+	}
+	// Unknown tuples surface here; the snapshot simply has no
+	// provenance for them.
+	return errf(http.StatusNotFound, ErrNoProvenance, "%v", err)
+}
+
+func (s *Server) evalQuery(ctx context.Context, snap *Snapshot, typ provquery.QueryType, at string, t rel.Tuple, opts provquery.Options) (*queryResponse, bool, *apiError) {
+	res, hit, err := snap.CachedQueryContext(ctx, typ, at, t, s.clampOpts(opts))
 	if err != nil {
-		// Unknown tuples/nodes surface here; the snapshot simply has no
-		// provenance for them.
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
+		return nil, false, queryError(err)
 	}
-	setCacheHeaders(w, snap, hit)
 
-	out := queryResponse{
+	out := &queryResponse{
 		Version:   snap.Version,
 		Time:      int64(snap.Time),
 		Type:      res.Type.String(),
@@ -460,34 +605,181 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case provquery.DerivCount:
 		out.Count = &res.Count
 	}
+	return out, hit, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad request body: %v", err)
+		return
+	}
+	snap, apiErr := s.snapshotAt(req.Version)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	typ, t, at, opts, apiErr := resolveRequest(&req)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	ctx, cancel, apiErr := s.queryContext(r)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	defer cancel()
+	out, hit, apiErr := s.evalQuery(ctx, snap, typ, at, t, opts)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	setCacheHeaders(w, snap, hit)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- POST /v1/query/batch ----------------------------------------------
+
+// batchRequest evaluates many queries against one pinned snapshot. All
+// queries share the snapshot's sub-proof cache, so repeated or
+// overlapping queries inside one batch are answered without
+// re-traversal — and the whole batch costs one HTTP round trip.
+type batchRequest struct {
+	Version uint64         `json:"version,omitempty"`
+	Queries []queryRequest `json:"queries"`
+}
+
+// batchResponse carries one result element per query, in order. Each
+// element is either the exact queryResponse document the equivalent
+// individual POST /v1/query would have returned (identical JSON modulo
+// indentation depth) or an error envelope in the uniform shape.
+type batchResponse struct {
+	Version uint64            `json:"version"`
+	Time    int64             `json:"virtualTimeUs"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// maxBatchQueries bounds one batch request.
+const maxBatchQueries = 1024
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "empty batch: need at least one query")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErr(w, http.StatusBadRequest, ErrInvalidRequest,
+			"batch of %d queries exceeds the maximum %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	for i := range req.Queries {
+		if req.Queries[i].Version != 0 {
+			writeErr(w, http.StatusBadRequest, ErrInvalidRequest,
+				"queries[%d] sets version; the batch-level version pins the snapshot for every query", i)
+			return
+		}
+	}
+	snap, apiErr := s.snapshotAt(req.Version)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	ctx, cancel, apiErr := s.queryContext(r)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	defer cancel()
+
+	results := make([]json.RawMessage, 0, len(req.Queries))
+	hits := 0
+	// local is the batch's own result overlay. The snapshot's query
+	// cache is bounded (it declines new keys once full), so the
+	// batch's documented guarantee — repeated queries inside one batch
+	// never re-traverse — must not depend on it having room.
+	local := map[queryCacheKey]json.RawMessage{}
+	for i := range req.Queries {
+		// A dead client or an expired deadline aborts the whole batch
+		// with a structured error — never a partial results array.
+		if err := ctx.Err(); err != nil {
+			ce, _ := ctxError(err)
+			writeAPIError(w, ce)
+			return
+		}
+		typ, t, at, opts, itemErr := resolveRequest(&req.Queries[i])
+		if itemErr == nil {
+			key := queryCacheKey{at: at, vid: t.VID(), typ: typ, opts: s.clampOpts(opts)}
+			if cached, ok := local[key]; ok {
+				hits++
+				results = append(results, cached)
+				continue
+			}
+			out, hit, evalErr := s.evalQuery(ctx, snap, typ, at, t, opts)
+			if evalErr == nil {
+				if hit {
+					hits++
+				}
+				b, err := json.Marshal(out)
+				if err != nil {
+					writeErr(w, http.StatusInternalServerError, ErrInternal, "encode: %v", err)
+					return
+				}
+				local[key] = b
+				results = append(results, b)
+				continue
+			}
+			if evalErr.code == ErrQueryCancelled || evalErr.code == ErrQueryTimeout {
+				writeAPIError(w, evalErr)
+				return
+			}
+			itemErr = evalErr
+		}
+		results = append(results, marshalError(itemErr))
+	}
+
+	hitsTotal, missesTotal := snap.CacheCounters()
+	w.Header().Set("X-Batch-Cache-Hits", strconv.Itoa(hits))
+	w.Header().Set("X-Cache-Hits", strconv.FormatInt(hitsTotal, 10))
+	w.Header().Set("X-Cache-Misses", strconv.FormatInt(missesTotal, 10))
+	writeJSON(w, http.StatusOK, batchResponse{
+		Version: snap.Version,
+		Time:    int64(snap.Time),
+		Results: results,
+	})
 }
 
 // handleProofDOT renders the lineage of ?tuple= (optionally ?at=,
 // ?version=) as a Graphviz DOT document.
 func (s *Server) handleProofDOT(w http.ResponseWriter, r *http.Request) {
-	version, err := versionParam(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	snap, ok := s.snapshotFor(w, version)
-	if !ok {
+	snap, done := s.condGET(w, r)
+	if done {
 		return
 	}
 	lit := r.URL.Query().Get("tuple")
 	if lit == "" {
-		writeErr(w, http.StatusBadRequest, "missing ?tuple= literal")
+		writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "missing ?tuple= literal")
 		return
 	}
 	t, at, err := resolveTupleAt(lit, r.URL.Query().Get("at"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrInvalidQuery, "%v", err)
 		return
 	}
-	res, hit, err := snap.CachedQuery(provquery.Lineage, at, t, s.clampOpts(provquery.Options{}))
+	ctx, cancel, apiErr := s.queryContext(r)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	defer cancel()
+	res, hit, err := snap.CachedQueryContext(ctx, provquery.Lineage, at, t, s.clampOpts(provquery.Options{}))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeAPIError(w, queryError(err))
 		return
 	}
 	setCacheHeaders(w, snap, hit)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -79,13 +80,22 @@ func (c *queryCache) put(key queryCacheKey, r *provquery.Result) {
 // counters at serve time. Errors (unknown tuples/nodes) are never
 // cached; they are cheap to recompute.
 func (s *Snapshot) CachedQuery(typ provquery.QueryType, at string, t rel.Tuple, opts provquery.Options) (res *provquery.Result, hit bool, err error) {
+	return s.CachedQueryContext(context.Background(), typ, at, t, opts)
+}
+
+// CachedQueryContext is CachedQuery with cancellation: a cancelled or
+// expired ctx aborts a cache-missed traversal mid-walk (the partial
+// result is discarded, never cached, and not counted as a miss) and
+// returns an error wrapping ctx.Err(). A cache hit is served even
+// under an expired context — it costs nothing.
+func (s *Snapshot) CachedQueryContext(ctx context.Context, typ provquery.QueryType, at string, t rel.Tuple, opts provquery.Options) (res *provquery.Result, hit bool, err error) {
 	key := queryCacheKey{at: at, vid: t.VID(), typ: typ, opts: opts}
 	cached, ok := s.cache.get(key)
 	if ok {
 		s.cache.hits.Add(1)
 		hit = true
 	} else {
-		r, qerr := s.query.Query(typ, at, t, opts)
+		r, qerr := s.query.QueryContext(ctx, typ, at, t, opts)
 		if qerr != nil {
 			return nil, false, qerr
 		}

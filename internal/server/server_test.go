@@ -535,7 +535,7 @@ func TestUnknownRoutesAndMethodsAreStructuredJSON(t *testing.T) {
 	e := buildGrid(t, 2)
 	_, ts := newServer(t, e, 0)
 
-	assertJSONError := func(resp *http.Response, body []byte, wantCode int) {
+	assertJSONError := func(resp *http.Response, body []byte, wantCode int, wantErrCode string) {
 		t.Helper()
 		if resp.StatusCode != wantCode {
 			t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, wantCode, body)
@@ -544,30 +544,36 @@ func TestUnknownRoutesAndMethodsAreStructuredJSON(t *testing.T) {
 			t.Fatalf("Content-Type = %q, want application/json", ct)
 		}
 		var e struct {
-			Error string `json:"error"`
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Fatalf("not a structured error: %s", body)
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+			t.Fatalf("not a structured error envelope: %s", body)
+		}
+		if e.Error.Code != wantErrCode {
+			t.Fatalf("error code = %q, want %q (%s)", e.Error.Code, wantErrCode, body)
 		}
 	}
 
 	resp, body := getFull(t, ts.URL+"/nope")
-	assertJSONError(resp, body, http.StatusNotFound)
+	assertJSONError(resp, body, http.StatusNotFound, ErrUnknownEndpoint)
 
 	resp, body = postFull(t, ts.URL+"/nodes", `{}`)
-	assertJSONError(resp, body, http.StatusMethodNotAllowed)
+	assertJSONError(resp, body, http.StatusMethodNotAllowed, ErrMethodNotAllowed)
 	if allow := resp.Header.Get("Allow"); allow != "GET" {
 		t.Fatalf("Allow = %q, want GET", allow)
 	}
 	resp, body = getFull(t, ts.URL+"/query")
-	assertJSONError(resp, body, http.StatusMethodNotAllowed)
+	assertJSONError(resp, body, http.StatusMethodNotAllowed, ErrMethodNotAllowed)
 
 	resp, body = getFull(t, ts.URL+"/nodes?version=banana")
-	assertJSONError(resp, body, http.StatusBadRequest)
+	assertJSONError(resp, body, http.StatusBadRequest, ErrInvalidRequest)
 	resp, body = getFull(t, ts.URL+"/state/n1?version=999999")
-	assertJSONError(resp, body, http.StatusGone)
+	assertJSONError(resp, body, http.StatusGone, ErrSnapshotEvicted)
 	resp, body = getFull(t, ts.URL+"/state/ghost")
-	assertJSONError(resp, body, http.StatusNotFound)
+	assertJSONError(resp, body, http.StatusNotFound, ErrUnknownNode)
 
 	// proof.dot success still carries the Graphviz content type.
 	resp, _ = getFull(t, ts.URL+"/proof.dot?tuple=mincost(@'n1','n4',2)")
