@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all vet staticcheck fmt-check build test race fuzz bench serve-smoke ci clean
+.PHONY: all vet staticcheck fmt-check build test race fuzz bench serve-smoke docs-check ci clean
 
 all: fmt-check vet build test
 
@@ -49,6 +49,9 @@ fuzz:
 #   - BENCH_api.json: the v1 batch endpoint through the Go SDK
 #     (sequential round trips vs one batch vs a batch denied its
 #     shared sub-proof cache)
+#   - BENCH_sharded.json: the sharded serving tier (single process vs
+#     a 3-shard deployment behind a colocated or pure gateway, with
+#     real downstream hops/op)
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 3x . | tee bench_parallel.out
 	$(GO) run ./tools/benchjson < bench_parallel.out > BENCH_parallel.json
@@ -58,15 +61,24 @@ bench:
 	$(GO) run ./tools/benchjson < bench_querycache.out > BENCH_querycache.json
 	$(GO) test -run '^$$' -bench 'BenchmarkAPIBatch' -benchtime 20x . | tee bench_api.out
 	$(GO) run ./tools/benchjson < bench_api.out > BENCH_api.json
-	@rm -f bench_parallel.out bench_serve.out bench_querycache.out bench_api.out
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedQuery' -benchtime 20x . | tee bench_sharded.out
+	$(GO) run ./tools/benchjson < bench_sharded.out > BENCH_sharded.json
+	@rm -f bench_parallel.out bench_serve.out bench_querycache.out bench_api.out bench_sharded.out
 
 # serve-smoke boots the nettrailsd daemon on an ephemeral port and
 # drives /healthz and /query end to end (plus the churn/pinned-version
-# checks) — the CI face of the query server.
+# checks) — the CI face of the query server. The gateway smoke boots a
+# real 3-shard deployment behind nettrailsgw.
 serve-smoke:
-	$(GO) test -count=1 ./cmd/nettrailsd/
+	$(GO) test -count=1 ./cmd/nettrailsd/ ./cmd/nettrailsgw/
 
-ci: fmt-check vet staticcheck build race fuzz serve-smoke bench
+# docs-check fails when README.md or docs/ drift from the code: broken
+# relative links, commands naming missing binaries/flags, or make
+# targets that no longer exist (tools/docscheck).
+docs-check:
+	$(GO) run ./tools/docscheck
+
+ci: fmt-check vet staticcheck build race fuzz serve-smoke docs-check bench
 
 # clean removes scratch files only; BENCH_*.json are committed
 # trajectory artifacts and must survive a clean.

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,7 @@ import (
 	nettrails "repro"
 	"repro/client"
 	"repro/internal/engine"
+	"repro/internal/gateway"
 	"repro/internal/protocols"
 	"repro/internal/provquery"
 	"repro/internal/server"
@@ -781,4 +783,113 @@ func BenchmarkAPIBatch(b *testing.B) {
 			checkBatch(b, res)
 		}
 	})
+}
+
+// BenchmarkShardedQuery (E13): the sharded serving tier. The same
+// deep corner-to-corner lineage is answered three ways over identical
+// deterministic state:
+//
+//   - direct:            one single-process nettrailsd holding every
+//     partition (the PR-4 baseline)
+//   - gateway-colocated: a 3-shard deployment queried through a
+//     gateway colocated with shard 0 — local walk steps read the
+//     colocated snapshot, the rest fan out over HTTP
+//   - gateway-remote:    the same 3 shards behind a pure gateway
+//     (cmd/nettrailsgw's shape): every partition read crosses HTTP
+//
+// Fresh never-pruning thresholds per iteration keep every query a
+// cold traversal, so the sweep prices federation itself (the
+// hops/op metric counts real downstream shard requests) rather than
+// result caching. On the 1-CPU dev container the absolute numbers
+// mostly show HTTP round-trip cost; see docs/DEPLOYMENT.md.
+func BenchmarkShardedQuery(b *testing.B) {
+	side := 4
+	buildEngine := func() *engine.Engine {
+		e, err := engine.New(nettrails.MinCost, nettrails.NodeNames(side*side), engine.Options{
+			Seed: 1, Provenance: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ed := range protocols.GridTopology(side, side, 1) {
+			if err := e.AddBiLink(ed.A, ed.B, ed.Cost); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e.RunQuiescent()
+		return e
+	}
+
+	singlePub, err := server.NewPublisher(buildEngine(), server.DefaultRetain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	single := httptest.NewServer(server.New(singlePub, server.Info{Protocol: "mincost"}))
+	defer single.Close()
+
+	const total = 3
+	urls := make([]string, total)
+	for i := 0; i < total; i++ {
+		pub, err := server.NewShardedPublisher(buildEngine(), server.DefaultRetain,
+			server.ShardSpec{Index: i, Total: total})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(pub, server.Info{Protocol: "mincost"}))
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+
+	remoteGW, err := gateway.New(context.Background(), urls,
+		gateway.WithInfo(server.Info{Protocol: "mincost"}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote := httptest.NewServer(remoteGW)
+	defer remote.Close()
+
+	localPub, err := server.NewShardedPublisher(buildEngine(), server.DefaultRetain,
+		server.ShardSpec{Index: 0, Total: total})
+	if err != nil {
+		b.Fatal(err)
+	}
+	colocGW, err := gateway.New(context.Background(), urls[1:],
+		gateway.WithLocal(localPub), gateway.WithInfo(server.Info{Protocol: "mincost"}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	coloc := httptest.NewServer(colocGW)
+	defer coloc.Close()
+
+	// Fresh cache keys per query across all reruns.
+	keyBase := 1000
+	run := func(b *testing.B, url string, countHops bool) {
+		hops := 0
+		for i := 0; i < b.N; i++ {
+			keyBase++
+			body := fmt.Sprintf(
+				`{"type":"lineage","tuple":"mincost(@'n1','n16',6)","version":1,"options":{"threshold":%d}}`,
+				keyBase)
+			resp, err := http.Post(url+"/v1/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				b.Fatalf("query: %v %d %s", err, resp.StatusCode, out)
+			}
+			if countHops {
+				h, _ := strconv.Atoi(resp.Header.Get("X-Shard-Hops"))
+				hops += h
+			}
+		}
+		if countHops {
+			b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) { run(b, single.URL, false) })
+	b.Run("gateway-colocated", func(b *testing.B) { run(b, coloc.URL, true) })
+	b.Run("gateway-remote", func(b *testing.B) { run(b, remote.URL, true) })
 }

@@ -1,0 +1,99 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/client"
+	"repro/internal/engine"
+	"repro/internal/protocols"
+	"repro/internal/server"
+)
+
+// serveQuickstart boots the quickstart scenario (MINCOST on a 3-node
+// line) in-process and serves its /v1 API — the same thing
+// `go run ./cmd/nettrailsd -protocol mincost -topology line -nodes 3`
+// does as a daemon. Examples talk to it through the public SDK
+// exactly as they would to a remote deployment.
+func serveQuickstart() (*httptest.Server, error) {
+	e, err := protocols.Build(protocols.MinCost, protocols.NodeNames(3),
+		protocols.LineTopology(3, 1), engine.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	pub, err := server.NewPublisher(e, 0)
+	if err != nil {
+		return nil, err
+	}
+	return httptest.NewServer(server.New(pub, server.Info{Protocol: "mincost"})), nil
+}
+
+// ExampleClient_Lineage asks why n1 can reach n3 at cost 2: the full
+// proof tree of the derived mincost tuple, down to the base link
+// facts, rendered by the server.
+func ExampleClient_Lineage() {
+	ts, err := serveQuickstart()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Lineage(context.Background(), "mincost(@'n1','n3',2)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("type=%s root=%s derivations=%d\n",
+		res.Type, res.Proof.Tuple.Text, len(res.Proof.Derivs))
+	fmt.Printf("modeled traffic: %d messages\n", res.Stats.Messages)
+	// Output:
+	// type=lineage root=mincost(@n1, n3, 2) derivations=1
+	// modeled traffic: 4 messages
+}
+
+// ExampleClient_QueryBatch evaluates several queries in one round
+// trip against one pinned snapshot; the repeated query is answered
+// from the server's shared sub-proof cache without re-traversal.
+func ExampleClient_QueryBatch() {
+	ts, err := serveQuickstart()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := c.QueryBatch(context.Background(), []client.BatchQuery{
+		{Q: "bases of mincost(@'n1','n3',2)"},
+		{Type: "count", Tuple: "mincost(@'n1','n3',2)"},
+		{Q: "bases of mincost(@'n1','n3',2)"}, // repeat: cache-served
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, item := range batch.Results {
+		if item.Err != nil {
+			fmt.Printf("%d: error %s\n", i, item.Err.Code)
+			continue
+		}
+		switch {
+		case item.Result.Count != nil:
+			fmt.Printf("%d: %d derivation(s)\n", i, *item.Result.Count)
+		default:
+			fmt.Printf("%d: %d base tuple(s)\n", i, len(item.Result.Bases))
+		}
+	}
+	fmt.Printf("cache-served elements: %d\n", batch.CacheHits)
+	// Output:
+	// 0: 2 base tuple(s)
+	// 1: 1 derivation(s)
+	// 2: 2 base tuple(s)
+	// cache-served elements: 1
+}

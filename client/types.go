@@ -145,6 +145,7 @@ type APIError struct {
 	Message string `json:"message"`
 }
 
+// Error renders the failure with its stable code and HTTP status.
 func (e *APIError) Error() string {
 	if e.Status != 0 {
 		return fmt.Sprintf("nettrails: %s (%s, http %d)", e.Message, e.Code, e.Status)
@@ -172,4 +173,6 @@ const (
 	CodeQueryCancelled   = "query_cancelled"
 	CodeQueryTimeout     = "query_timeout"
 	CodeInternal         = "internal_error"
+	CodeWrongShard       = "wrong_shard"
+	CodeShardUnreachable = "shard_unreachable"
 )

@@ -15,6 +15,11 @@
 //	curl -s -X POST localhost:8080/v1/query \
 //	     -d '{"q":"lineage of mincost(@'\''n1'\'','\''n3'\'',2)"}'
 //
+// With -shard i/N the daemon publishes and serves only its slice of
+// the network's provenance partitions; run N such processes and put
+// cmd/nettrailsgw in front to federate queries across them (see
+// docs/DEPLOYMENT.md for the full topology walkthrough).
+//
 // The HTTP surface is versioned under /v1/ (legacy unversioned paths
 // remain as deprecated aliases); repro/client is the typed Go SDK for
 // it. See docs/API.md.
@@ -30,6 +35,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +49,30 @@ import (
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "nettrailsd: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// parseShard parses the -shard flag's "i/N" form (0-based index).
+// An empty value means unsharded. Parsing is strict — a malformed
+// spec must fail the boot, never run as a plausible-looking shard.
+func parseShard(s string) (server.ShardSpec, error) {
+	if s == "" {
+		return server.ShardSpec{}, nil
+	}
+	var spec server.ShardSpec
+	idx, total, ok := strings.Cut(s, "/")
+	if ok {
+		var err1, err2 error
+		spec.Index, err1 = strconv.Atoi(idx)
+		spec.Total, err2 = strconv.Atoi(total)
+		ok = err1 == nil && err2 == nil
+	}
+	if !ok {
+		return spec, fmt.Errorf("bad -shard %q (want \"i/N\", e.g. 0/3)", s)
+	}
+	if spec.Total < 1 || spec.Index < 0 || spec.Index >= spec.Total {
+		return spec, fmt.Errorf("bad -shard %q: need 0 <= i < N", s)
+	}
+	return spec, nil
 }
 
 func main() {
@@ -58,6 +89,7 @@ func main() {
 	maxDepth := flag.Int("maxdepth", 0, "cap the proof depth of every served query (0 = uncapped)")
 	maxNodes := flag.Int("maxnodes", 0, "cap the proof vertices of every served query (0 = uncapped)")
 	timeout := flag.Duration("timeout", 30*time.Second, "server-default deadline for each query's traversal and cap on per-request ?timeout= (0 disables)")
+	shard := flag.String("shard", "", "serve only shard i of N (\"i/N\", 0-based): publish this slice of the provenance partitions and answer wrong_shard for the rest; federate with nettrailsgw")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *showVersion {
@@ -109,7 +141,11 @@ func main() {
 		}
 	}
 
-	pub, err := server.NewPublisher(sys.Engine, *retain)
+	spec, err := parseShard(*shard)
+	if err != nil {
+		fail("%v", err)
+	}
+	pub, err := server.NewShardedPublisher(sys.Engine, *retain, spec)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -125,8 +161,20 @@ func main() {
 		fail("%v", err)
 	}
 	snap := pub.Current()
-	fmt.Printf("nettrailsd: listening on http://%s (protocol=%s nodes=%d links=%d version=%d)\n",
-		ln.Addr(), *protocol, n, len(edges), snap.Version)
+	shardNote := ""
+	if !spec.Unsharded() {
+		shardNote = fmt.Sprintf(" shard=%s owned=%d", spec, len(snap.Nodes))
+	}
+	fmt.Printf("nettrailsd: listening on http://%s (protocol=%s nodes=%d links=%d version=%d%s)\n",
+		ln.Addr(), *protocol, n, len(edges), snap.Version, shardNote)
+	if !spec.Unsharded() && *churn > 0 {
+		// Wall-clock churn ticks independently per process, so sibling
+		// shards drift apart and gateway pins degrade to
+		// snapshot_evicted. Deterministic sharded serving wants a
+		// frozen topology (or identical external stimulus).
+		fmt.Printf("nettrailsd: warning: -churn %s with -shard %s lets shard versions drift; use -churn 0 for aligned snapshots\n",
+			*churn, spec)
+	}
 
 	// The churn goroutine is the simulation thread: from here on, only
 	// it touches the engine. It keeps virtual time (and snapshot

@@ -187,6 +187,62 @@ func TestSmokeSDKEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSmokeShardFlag: -shard i/N publishes only the owned slice,
+// reports it on /v1/healthz and /v1/shards, and refuses state reads
+// for nodes another shard owns.
+func TestSmokeShardFlag(t *testing.T) {
+	c, _, out := startDaemon(t, "-protocol", "mincost", "-topology", "grid", "-nodes", "9",
+		"-shard", "1/3", "-churn", "50ms")
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1 of 3 over the sorted n1..n9 owns positions 1,4,7.
+	if h.Nodes != 3 {
+		t.Fatalf("shard health reports %d nodes, want 3", h.Nodes)
+	}
+
+	sh, err := c.Shards(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shard.Index != 1 || sh.Shard.Total != 3 ||
+		len(sh.Nodes) != 3 || len(sh.AllNodes) != 9 || sh.Nodes[0] != "n2" {
+		t.Fatalf("shards = %+v", sh)
+	}
+
+	if _, err := c.State(ctx, "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.State(ctx, "n1"); !client.IsCode(err, client.CodeWrongShard) {
+		t.Fatalf("state for unowned node = %v, want %s", err, client.CodeWrongShard)
+	}
+
+	// The daemon warns that wall-clock churn drifts sharded versions.
+	deadline := time.Now().Add(10 * time.Second)
+	for !out.contains("lets shard versions drift") {
+		if time.Now().After(deadline) {
+			t.Fatal("missing churn-drift warning in sharded daemon output")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Bad specs fail fast.
+	bin := buildBinary(t)
+	if err := exec.Command(bin, "-shard", "3/3").Run(); err == nil {
+		t.Fatal("-shard 3/3 unexpectedly accepted")
+	}
+	if err := exec.Command(bin, "-shard", "banana").Run(); err == nil {
+		t.Fatal("-shard banana unexpectedly accepted")
+	}
+	// Trailing garbage must not parse as a plausible shard.
+	if err := exec.Command(bin, "-shard", "1/3x").Run(); err == nil {
+		t.Fatal("-shard 1/3x unexpectedly accepted")
+	}
+}
+
 // TestSmokeChurnAdvancesVersionsAndPinnedReadsAgree checks the daemon
 // end to end through the SDK: churn advances snapshot versions while
 // concurrent version-pinned queries return identical results.

@@ -1,0 +1,124 @@
+// nettrailsgw is the federating query gateway of a sharded NetTrails
+// deployment. Point it at every nettrailsd shard (-peers) and it
+// serves the same /v1 query surface as a single daemon — answering
+// each query by running the shared provenance graph walk itself and
+// fanning batched, version-pinned partition reads out to the shards
+// that own each vertex's node (see internal/gateway and
+// docs/DEPLOYMENT.md).
+//
+// Usage:
+//
+//	nettrailsd -shard 0/3 -churn 0 -listen 127.0.0.1:8081 &
+//	nettrailsd -shard 1/3 -churn 0 -listen 127.0.0.1:8082 &
+//	nettrailsd -shard 2/3 -churn 0 -listen 127.0.0.1:8083 &
+//	nettrailsgw -listen 127.0.0.1:8080 \
+//	    -peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	curl -s localhost:8080/v1/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/internal/buildinfo"
+	"repro/internal/gateway"
+	"repro/internal/server"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "nettrailsgw: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every nettrailsd shard (required)")
+	maxDepth := flag.Int("maxdepth", 0, "cap the proof depth of every served query (0 = uncapped)")
+	maxNodes := flag.Int("maxnodes", 0, "cap the proof vertices of every served query (0 = uncapped)")
+	timeout := flag.Duration("timeout", 30*time.Second, "server-default deadline for each query's traversal and cap on per-request ?timeout= (0 disables)")
+	drain := flag.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight HTTP queries to finish")
+	showVersion := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion("nettrailsgw")
+		return
+	}
+	if *peers == "" {
+		fail("-peers is required (comma-separated shard URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	// The protocol label travels from the shards: ask one for its
+	// health so /v1/healthz reports the same workload name everywhere.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	protocol := ""
+	if c, err := client.New(urls[0]); err == nil {
+		if h, err := c.Health(ctx); err == nil {
+			protocol = h.Protocol
+		}
+	}
+
+	g, err := gateway.New(ctx, urls, gateway.WithInfo(server.Info{
+		Protocol: protocol,
+		MaxDepth: *maxDepth,
+		MaxNodes: *maxNodes,
+		Timeout:  *timeout,
+	}))
+	cancel()
+	if err != nil {
+		fail("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("nettrailsgw: listening on http://%s (protocol=%s shards=%d nodes=%d)\n",
+		ln.Addr(), protocol, g.Shards(), len(g.Nodes()))
+
+	httpSrv := &http.Server{Handler: g.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+			fail("%v", err)
+		}
+	case sig := <-sigs:
+		// Graceful shutdown: drain in-flight federated queries (their
+		// downstream reads abort with them); a second signal aborts.
+		fmt.Printf("nettrailsgw: %s: shutting down (draining for up to %s)\n", sig, *drain)
+		sctx, scancel := context.WithTimeout(context.Background(), *drain)
+		go func() {
+			<-sigs
+			scancel()
+		}()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			scancel()
+			fail("shutdown: %v", err)
+		}
+		scancel()
+		if err := <-serveErr; err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+			fail("%v", err)
+		}
+	}
+	fmt.Println("nettrailsgw: stopped")
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// buildBinary builds one of the repo's commands into a temp dir.
+func buildBinary(t *testing.T, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// startProcess launches a daemon binary on an ephemeral port and
+// returns the base URL it prints.
+func startProcess(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		found := false
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 && !found {
+				found = true
+				urlCh <- strings.Fields(line[i+len("listening on "):])[0]
+			}
+		}
+	}()
+	select {
+	case url := <-urlCh:
+		return url
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s never reported its listen address", bin)
+		return ""
+	}
+}
+
+// TestVersionFlag: -version prints build metadata and exits 0.
+func TestVersionFlag(t *testing.T) {
+	bin := buildBinary(t, ".", "nettrailsgw")
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-version: %v\n%s", err, out)
+	}
+	if text := string(out); !strings.Contains(text, "repro") || !strings.Contains(text, "go1") {
+		t.Fatalf("-version output = %q", text)
+	}
+}
+
+// TestSmokeShardedDeployment boots a real 3-shard deployment — three
+// nettrailsd processes with -shard i/3 — federates them behind a
+// nettrailsgw process, and drives the full query surface through the
+// SDK.
+func TestSmokeShardedDeployment(t *testing.T) {
+	nettrailsd := buildBinary(t, "repro/cmd/nettrailsd", "nettrailsd")
+	nettrailsgw := buildBinary(t, ".", "nettrailsgw")
+
+	var peers []string
+	for i := 0; i < 3; i++ {
+		url := startProcess(t, nettrailsd,
+			"-listen", "127.0.0.1:0",
+			"-protocol", "mincost", "-topology", "grid", "-nodes", "9",
+			"-shard", fmt.Sprintf("%d/3", i), "-churn", "0")
+		peers = append(peers, url)
+	}
+	gwURL := startProcess(t, nettrailsgw,
+		"-listen", "127.0.0.1:0", "-peers", strings.Join(peers, ","))
+
+	c, err := client.New(gwURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Protocol != "mincost" || h.Version == 0 {
+		t.Fatalf("gateway health = %+v", h)
+	}
+
+	ns, err := c.Nodes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns.Nodes) != 9 {
+		t.Fatalf("gateway merged %d nodes, want 9", len(ns.Nodes))
+	}
+
+	// Cross-shard lineage: the corner-to-corner proof spans all three
+	// shards' partitions.
+	res, err := c.Lineage(ctx, "mincost(@'n1','n9',4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proof == nil || !strings.Contains(res.Text, "mincost(@n1, n9, 4)") {
+		t.Fatalf("federated lineage = %+v", res)
+	}
+	if res.Stats.Messages == 0 {
+		t.Fatalf("federated lineage charged no modeled messages: %+v", res.Stats)
+	}
+
+	// State routes through the gateway to the owning shard.
+	st, err := c.State(ctx, "n5", client.Rel("mincost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tables["mincost"]) == 0 {
+		t.Fatalf("state via gateway = %+v", st)
+	}
+
+	// Batch shares one pinned version and the gateway's result cache.
+	batch, err := c.QueryBatch(ctx, []client.BatchQuery{
+		{Q: "bases of mincost(@'n1','n9',4)"},
+		{Type: "count", Tuple: "mincost(@'n1','n9',4)"},
+		{Q: "bases of mincost(@'n1','n9',4)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 3 || batch.Results[1].Result.Count == nil {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if batch.CacheHits == 0 {
+		t.Fatalf("repeated batch element was not cache-served: %+v", batch)
+	}
+
+	// Typed errors pass through the federation unchanged.
+	if _, err := c.Lineage(ctx, "mincost(@'n1','n9',99)"); !client.IsCode(err, client.CodeNoProvenance) {
+		t.Fatalf("unknown tuple error = %v", err)
+	}
+
+	// Querying a shard directly for a cross-shard traversal refuses
+	// with wrong_shard — the gateway is the integration point.
+	shard0, err := client.New(peers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard0.Lineage(ctx, "mincost(@'n1','n9',4)"); !client.IsCode(err, client.CodeWrongShard) {
+		t.Fatalf("direct cross-shard query error = %v", err)
+	}
+}

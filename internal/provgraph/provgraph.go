@@ -38,6 +38,7 @@ const (
 	DerivCount
 )
 
+// String names the query type as the API and query language spell it.
 func (t QueryType) String() string {
 	switch t {
 	case Lineage:

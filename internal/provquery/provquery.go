@@ -70,6 +70,10 @@ var (
 	// ErrNoProvenance: the node exists but records no provenance for
 	// the queried tuple.
 	ErrNoProvenance = errors.New("no provenance")
+	// ErrNotOwned: the node exists in the network but its provenance
+	// partition is not held by this (sharded) snapshot — the query
+	// must be answered by the owning shard or a federating gateway.
+	ErrNotOwned = errors.New("partition not held here")
 )
 
 type request struct {

@@ -40,12 +40,31 @@ var (
 // own walk state, so no state is shared between concurrent queries.
 type SnapshotClient struct {
 	views map[string]PartitionView
+	// known lists every node address in the network when the views are
+	// only a shard of it; a walk that reaches a known node whose view
+	// is absent aborts with ErrNotOwned instead of fabricating an
+	// empty sub-result. Nil means the views are the whole network.
+	known map[string]bool
 }
 
 // NewSnapshotClient builds a client over per-node views keyed by node
 // address. The map is used as-is and must not be mutated afterwards.
 func NewSnapshotClient(views map[string]PartitionView) *SnapshotClient {
 	return &SnapshotClient{views: views}
+}
+
+// NewPartialSnapshotClient builds a client over one shard's subset of
+// the network's partitions. allNodes lists every node address in the
+// whole network; queries whose traversal stays inside the held views
+// answer exactly as an unsharded client would, while a walk that
+// reaches a node in allNodes without a held view fails with an error
+// wrapping ErrNotOwned (never a silently partial result).
+func NewPartialSnapshotClient(views map[string]PartitionView, allNodes []string) *SnapshotClient {
+	known := make(map[string]bool, len(allNodes))
+	for _, addr := range allNodes {
+		known[addr] = true
+	}
+	return &SnapshotClient{views: views, known: known}
 }
 
 // Query evaluates a provenance query of the given type for the tuple at
@@ -71,18 +90,24 @@ func (c *SnapshotClient) Query(typ QueryType, at string, t rel.Tuple, opts Optio
 func (c *SnapshotClient) QueryContext(ctx context.Context, typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
 	v, ok := c.views[at]
 	if !ok {
+		if c.known[at] {
+			return nil, fmt.Errorf("provquery: node %s: %w", at, ErrNotOwned)
+		}
 		return nil, fmt.Errorf("provquery: %w %s", ErrUnknownNode, at)
 	}
 	vid := t.VID()
 	if _, ok := v.Derivations(vid); !ok {
 		return nil, fmt.Errorf("provquery: tuple %s has %w at %s", t, ErrNoProvenance, at)
 	}
-	src := &snapSource{views: c.views}
+	src := &snapSource{views: c.views, known: c.known}
 	w := provgraph.NewWalkContext(ctx, src, typ, opts)
 	var out provgraph.SubResult
 	w.ResolveTuple(at, vid, nil, func(r provgraph.SubResult) { out = r })
 	if err := w.Err(); err != nil {
 		return nil, fmt.Errorf("provquery: query for %s aborted after %d vertices: %w", t, w.Resolved(), err)
+	}
+	if src.notOwned != "" {
+		return nil, fmt.Errorf("provquery: query for %s crossed to node %s: %w", t, src.notOwned, ErrNotOwned)
 	}
 	res := provgraph.NewResult(typ, out)
 	res.Stats = Stats{Messages: src.msgs, Bytes: src.bytes}
@@ -105,12 +130,26 @@ func (c *SnapshotClient) Run(src string) (*Result, error) {
 // traffic model.
 type snapSource struct {
 	views map[string]PartitionView
+	known map[string]bool // see SnapshotClient.known; nil = whole network
 	msgs  int
 	bytes int
+	// notOwned records the first known-but-unheld node the walk read,
+	// turning the whole query into an ErrNotOwned failure.
+	notOwned string
+}
+
+// view resolves loc's partition view, recording a cross-shard escape
+// when loc is a known network node whose partition is not held here.
+func (s *snapSource) view(loc string) (PartitionView, bool) {
+	v, ok := s.views[loc]
+	if !ok && s.known[loc] && s.notOwned == "" {
+		s.notOwned = loc
+	}
+	return v, ok
 }
 
 func (s *snapSource) TupleOf(loc string, vid rel.ID) (rel.Tuple, bool) {
-	v, ok := s.views[loc]
+	v, ok := s.view(loc)
 	if !ok {
 		return rel.Tuple{}, false
 	}
@@ -118,7 +157,7 @@ func (s *snapSource) TupleOf(loc string, vid rel.ID) (rel.Tuple, bool) {
 }
 
 func (s *snapSource) Derivations(loc string, vid rel.ID) ([]provenance.Entry, bool) {
-	v, ok := s.views[loc]
+	v, ok := s.view(loc)
 	if !ok {
 		return nil, false
 	}
@@ -126,7 +165,7 @@ func (s *snapSource) Derivations(loc string, vid rel.ID) ([]provenance.Entry, bo
 }
 
 func (s *snapSource) Exec(loc string, rid rel.ID) (provenance.ExecEntry, bool) {
-	v, ok := s.views[loc]
+	v, ok := s.view(loc)
 	if !ok {
 		return provenance.ExecEntry{}, false
 	}
@@ -136,7 +175,7 @@ func (s *snapSource) Exec(loc string, rid rel.ID) (provenance.ExecEntry, bool) {
 // ExpandRemote re-enters the walk at the executing node's view,
 // charging one simulated request/response pair for the hop.
 func (s *snapSource) ExpandRemote(w *provgraph.Walk, from, loc string, rid rel.ID, visited []rel.ID, cont func(provgraph.SubResult)) {
-	if _, ok := s.views[loc]; !ok {
+	if _, ok := s.view(loc); !ok {
 		cont(provgraph.MissingResult(rid, loc))
 		return
 	}

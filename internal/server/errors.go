@@ -45,6 +45,15 @@ const (
 	// ErrInternal: a server-side fault the client cannot fix by
 	// changing the request (500).
 	ErrInternal = "internal_error"
+	// ErrWrongShard: this server is one shard of a sharded deployment
+	// and does not own the requested node's partition — or a query's
+	// traversal crossed onto a partition it does not hold. Ask the
+	// owning shard, or a gateway (421 Misdirected Request).
+	ErrWrongShard = "wrong_shard"
+	// ErrShardUnreachable: a gateway could not reach a downstream
+	// shard (or the shard answered with a malformed response) while
+	// federating a request (502).
+	ErrShardUnreachable = "shard_unreachable"
 )
 
 // StatusClientClosedRequest is the non-standard 499 status reported
@@ -61,45 +70,52 @@ type errorEnvelope struct {
 	Error errorBody `json:"error"`
 }
 
-// apiError is a failure travelling inside a handler before it is
-// rendered: status code, stable error code, human message.
-type apiError struct {
-	status int
-	code   string
-	msg    string
+// APIError is a failure travelling inside a handler before it is
+// rendered: HTTP status code, stable machine-readable error code, and
+// human-readable message. It is exported so the gateway tier
+// (internal/gateway) renders the exact same envelope as the shards.
+type APIError struct {
+	// Status is the HTTP status the envelope is written with.
+	Status int
+	// Code is the stable machine-readable contract (the catalog above).
+	Code string
+	// Message is human-readable detail; it may change freely.
+	Message string
 }
 
-func (e *apiError) Error() string { return e.msg }
+// Error implements the error interface with the human-readable detail.
+func (e *APIError) Error() string { return e.Message }
 
-func errf(status int, code, format string, args ...interface{}) *apiError {
-	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+// Errf builds an *APIError with a printf-formatted message.
+func Errf(status int, code, format string, args ...interface{}) *APIError {
+	return &APIError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
 }
 
-// ctxError maps a context failure observed mid-walk to its structured
+// CtxError maps a context failure observed mid-walk to its structured
 // API error; ok is false for every other error.
-func ctxError(err error) (*apiError, bool) {
+func CtxError(err error) (*APIError, bool) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return errf(http.StatusGatewayTimeout, ErrQueryTimeout, "%v", err), true
+		return Errf(http.StatusGatewayTimeout, ErrQueryTimeout, "%v", err), true
 	case errors.Is(err, context.Canceled):
-		return errf(StatusClientClosedRequest, ErrQueryCancelled, "%v", err), true
+		return Errf(StatusClientClosedRequest, ErrQueryCancelled, "%v", err), true
 	}
 	return nil, false
 }
 
-// writeAPIError renders an apiError as the uniform envelope.
-func writeAPIError(w http.ResponseWriter, e *apiError) {
-	writeJSON(w, e.status, errorEnvelope{Error: errorBody{Code: e.code, Message: e.msg}})
+// WriteAPIError renders an APIError as the uniform envelope.
+func WriteAPIError(w http.ResponseWriter, e *APIError) {
+	WriteJSON(w, e.Status, errorEnvelope{Error: errorBody{Code: e.Code, Message: e.Message}})
 }
 
-// writeErr is the one-shot form of writeAPIError.
-func writeErr(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
-	writeAPIError(w, errf(status, code, format, args...))
+// WriteErr is the one-shot form of WriteAPIError.
+func WriteErr(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	WriteAPIError(w, Errf(status, code, format, args...))
 }
 
-// marshalError renders an apiError as a compact JSON envelope — the
+// MarshalError renders an APIError as a compact JSON envelope — the
 // per-item error form inside a batch response.
-func marshalError(e *apiError) json.RawMessage {
-	b, _ := json.Marshal(errorEnvelope{Error: errorBody{Code: e.code, Message: e.msg}})
+func MarshalError(e *APIError) json.RawMessage {
+	b, _ := json.Marshal(errorEnvelope{Error: errorBody{Code: e.Code, Message: e.Message}})
 	return b
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -51,6 +52,9 @@ type Server struct {
 	pub  *Publisher
 	info Info
 	mux  *http.ServeMux
+
+	// provReads counts prov-read ops served (see provread.go).
+	provReads atomic.Int64
 }
 
 // New builds the HTTP API over a publisher.
@@ -64,10 +68,12 @@ func New(pub *Publisher, info Info) *Server {
 	// v1-only endpoints: no legacy alias ever existed for these.
 	s.route("GET", "/version", s.handleVersion, false)
 	s.route("POST", "/query/batch", s.handleQueryBatch, false)
+	s.route("GET", "/shards", s.handleShards, false)
+	s.route("POST", "/prov/read", s.handleProvRead, false)
 	// Anything else is a structured JSON 404, not the mux's plain-text
 	// default.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeErr(w, http.StatusNotFound, ErrUnknownEndpoint, "unknown endpoint %s", r.URL.Path)
+		WriteErr(w, http.StatusNotFound, ErrUnknownEndpoint, "unknown endpoint %s", r.URL.Path)
 	})
 	return s
 }
@@ -79,7 +85,7 @@ func New(pub *Publisher, info Info) *Server {
 func (s *Server) route(method, pattern string, h http.HandlerFunc, legacy bool) {
 	notAllowed := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", method)
-		writeErr(w, http.StatusMethodNotAllowed, ErrMethodNotAllowed,
+		WriteErr(w, http.StatusMethodNotAllowed, ErrMethodNotAllowed,
 			"method %s not allowed on %s (allow %s)", r.Method, r.URL.Path, method)
 	}
 	s.mux.HandleFunc(method+" /v1"+pattern, h)
@@ -101,15 +107,22 @@ func deprecated(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// clampOpts applies the server's traversal caps to a request's options.
-func (s *Server) clampOpts(o provquery.Options) provquery.Options {
-	if s.info.MaxDepth > 0 && (o.MaxDepth == 0 || o.MaxDepth > s.info.MaxDepth) {
-		o.MaxDepth = s.info.MaxDepth
+// ClampOptions applies the Info's traversal caps to a request's
+// options: absent or looser request limits are clamped down to the
+// caps, tighter ones win.
+func (i Info) ClampOptions(o provquery.Options) provquery.Options {
+	if i.MaxDepth > 0 && (o.MaxDepth == 0 || o.MaxDepth > i.MaxDepth) {
+		o.MaxDepth = i.MaxDepth
 	}
-	if s.info.MaxNodes > 0 && (o.MaxNodes == 0 || o.MaxNodes > s.info.MaxNodes) {
-		o.MaxNodes = s.info.MaxNodes
+	if i.MaxNodes > 0 && (o.MaxNodes == 0 || o.MaxNodes > i.MaxNodes) {
+		o.MaxNodes = i.MaxNodes
 	}
 	return o
+}
+
+// clampOpts applies the server's traversal caps to a request's options.
+func (s *Server) clampOpts(o provquery.Options) provquery.Options {
+	return s.info.ClampOptions(o)
 }
 
 // maxOptionValue bounds request-supplied traversal options. Values
@@ -122,32 +135,34 @@ const maxOptionValue = 1 << 20
 // boundary: negative values (which the walk would silently treat as
 // "unlimited") and absurdly large ones. The textual grammar rejects
 // these at parse time; this guards the structured form.
-func validateOptions(o provquery.Options) *apiError {
+func validateOptions(o provquery.Options) *APIError {
 	for _, f := range []struct {
 		name string
 		v    int
 	}{{"threshold", o.Threshold}, {"maxdepth", o.MaxDepth}, {"maxnodes", o.MaxNodes}} {
 		if f.v < 0 {
-			return errf(http.StatusBadRequest, ErrInvalidOption,
+			return Errf(http.StatusBadRequest, ErrInvalidOption,
 				"%s must be >= 0, got %d", f.name, f.v)
 		}
 		if f.v > maxOptionValue {
-			return errf(http.StatusBadRequest, ErrInvalidOption,
+			return Errf(http.StatusBadRequest, ErrInvalidOption,
 				"%s %d exceeds the maximum %d", f.name, f.v, maxOptionValue)
 		}
 	}
 	return nil
 }
 
-// queryContext derives the traversal context for one request: the
+// RequestContext derives the traversal context for one request: the
 // client's own context (so a disconnect cancels the walk) bounded by
-// the ?timeout= deadline or the server default, whichever is tighter.
-func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc, *apiError) {
-	d := s.info.Timeout
+// the ?timeout= deadline or the serverDefault, whichever is tighter.
+// Shared by the shard server and the gateway so timeout semantics
+// cannot drift between tiers.
+func RequestContext(r *http.Request, serverDefault time.Duration) (context.Context, context.CancelFunc, *APIError) {
+	d := serverDefault
 	if raw := r.URL.Query().Get("timeout"); raw != "" {
 		td, err := time.ParseDuration(raw)
 		if err != nil || td <= 0 {
-			return nil, nil, errf(http.StatusBadRequest, ErrInvalidOption,
+			return nil, nil, Errf(http.StatusBadRequest, ErrInvalidOption,
 				"bad timeout %q (want a positive Go duration like 500ms)", raw)
 		}
 		if d == 0 || td < d {
@@ -161,52 +176,61 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 	return r.Context(), func() {}, nil
 }
 
+// queryContext is RequestContext under this server's -timeout default.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc, *APIError) {
+	return RequestContext(r, s.info.Timeout)
+}
+
 // Handler returns the root handler for http.Serve.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // ---- JSON shapes -------------------------------------------------------
 
-// tupleJSON is the wire form of a tuple: the relation name, each
+// TupleJSON is the wire form of a tuple: the relation name, each
 // attribute rendered as its NDlog literal, and the full literal text.
-type tupleJSON struct {
+type TupleJSON struct {
 	Rel  string   `json:"rel"`
 	Vals []string `json:"vals"`
 	Text string   `json:"text"`
 }
 
-func jsonTuple(t rel.Tuple) tupleJSON {
-	out := tupleJSON{Rel: t.Rel, Vals: make([]string, len(t.Vals)), Text: t.String()}
+// JSONTuple renders one tuple as its wire form.
+func JSONTuple(t rel.Tuple) TupleJSON {
+	out := TupleJSON{Rel: t.Rel, Vals: make([]string, len(t.Vals)), Text: t.String()}
 	for i, v := range t.Vals {
 		out.Vals[i] = v.String()
 	}
 	return out
 }
 
-// proofJSON is the wire form of a proof-tree vertex.
-type proofJSON struct {
-	Tuple     *tupleJSON  `json:"tuple,omitempty"` // nil for unresolved vertices
+// ProofJSON is the wire form of a proof-tree vertex.
+type ProofJSON struct {
+	Tuple     *TupleJSON  `json:"tuple,omitempty"` // nil for unresolved vertices
 	VID       string      `json:"vid"`
 	Loc       string      `json:"loc"`
 	Base      bool        `json:"base,omitempty"`
 	Cycle     bool        `json:"cycle,omitempty"`
 	Pruned    bool        `json:"pruned,omitempty"`
 	Truncated bool        `json:"truncated,omitempty"`
-	Derivs    []derivJSON `json:"derivs,omitempty"`
+	Derivs    []DerivJSON `json:"derivs,omitempty"`
 }
 
-// derivJSON is one derivation step: the rule, where it executed, and
+// DerivJSON is one derivation step: the rule, where it executed, and
 // the input tuples' sub-proofs.
-type derivJSON struct {
+type DerivJSON struct {
 	Rule     string      `json:"rule"`
 	Loc      string      `json:"loc"`
 	RID      string      `json:"rid"`
-	Children []proofJSON `json:"children,omitempty"`
+	Children []ProofJSON `json:"children,omitempty"`
 }
 
-func jsonProof(p *provquery.ProofNode) proofJSON {
-	out := proofJSON{
+// JSONProof renders one proof-tree vertex (recursively) as its wire
+// form.
+func JSONProof(p *provquery.ProofNode) ProofJSON {
+	out := ProofJSON{
 		VID:       p.VID.Short(),
 		Loc:       p.Loc,
 		Base:      p.Base,
@@ -215,20 +239,23 @@ func jsonProof(p *provquery.ProofNode) proofJSON {
 		Truncated: p.Truncated,
 	}
 	if p.Tuple.Rel != "" {
-		t := jsonTuple(p.Tuple)
+		t := JSONTuple(p.Tuple)
 		out.Tuple = &t
 	}
 	for _, d := range p.Derivs {
-		dj := derivJSON{Rule: d.Rule, Loc: d.RLoc, RID: d.RID.Short()}
+		dj := DerivJSON{Rule: d.Rule, Loc: d.RLoc, RID: d.RID.Short()}
 		for _, c := range d.Children {
-			dj.Children = append(dj.Children, jsonProof(c))
+			dj.Children = append(dj.Children, JSONProof(c))
 		}
 		out.Derivs = append(out.Derivs, dj)
 	}
 	return out
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+// WriteJSON writes v as the canonical two-space-indented JSON body
+// every tier of the API serves, so shard and gateway bodies can be
+// compared byte for byte.
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -240,24 +267,24 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 // version selects a retained one; absent or 0 means current. A missing
 // version is the structured snapshot_evicted 410 with the retained
 // range.
-func (s *Server) snapshotAt(version uint64) (*Snapshot, *apiError) {
+func (s *Server) snapshotAt(version uint64) (*Snapshot, *APIError) {
 	snap, ok := s.pub.At(version)
 	if !ok {
 		oldest, newest := s.pub.Versions()
-		return nil, errf(http.StatusGone, ErrSnapshotEvicted,
+		return nil, Errf(http.StatusGone, ErrSnapshotEvicted,
 			"version %d not retained (oldest %d, newest %d)", version, oldest, newest)
 	}
 	return snap, nil
 }
 
-func versionParam(r *http.Request) (uint64, *apiError) {
+func versionParam(r *http.Request) (uint64, *APIError) {
 	raw := r.URL.Query().Get("version")
 	if raw == "" {
 		return 0, nil
 	}
 	v, err := strconv.ParseUint(raw, 10, 64)
 	if err != nil {
-		return 0, errf(http.StatusBadRequest, ErrInvalidRequest, "bad version %q", raw)
+		return 0, Errf(http.StatusBadRequest, ErrInvalidRequest, "bad version %q", raw)
 	}
 	return v, nil
 }
@@ -307,12 +334,12 @@ func etagMatches(ifNoneMatch, etag string) bool {
 func (s *Server) condGET(w http.ResponseWriter, r *http.Request) (*Snapshot, bool) {
 	version, apiErr := versionParam(r)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return nil, true
 	}
 	snap, apiErr := s.snapshotAt(version)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return nil, true
 	}
 	etag := requestETag(snap, r)
@@ -333,29 +360,37 @@ type healthzJSON struct {
 	Time     int64  `json:"virtualTimeUs"`
 	Nodes    int    `json:"nodes"`
 	Oldest   uint64 `json:"oldestVersion"`
+	// Shard appears only on sharded servers, so single-process bodies
+	// are unchanged.
+	Shard *ShardJSON `json:"shard,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.pub.Current()
 	oldest, _ := s.pub.Versions()
-	writeJSON(w, http.StatusOK, healthzJSON{
+	out := healthzJSON{
 		OK:       true,
 		Protocol: s.info.Protocol,
 		Version:  snap.Version,
 		Time:     int64(snap.Time),
 		Nodes:    len(snap.Nodes),
 		Oldest:   oldest,
-	})
+	}
+	if !snap.Shard.Unsharded() {
+		out.Shard = &ShardJSON{Index: snap.Shard.Index, Total: snap.Shard.Total}
+	}
+	WriteJSON(w, http.StatusOK, out)
 }
 
 // handleVersion reports the server binary's build metadata
 // (debug.ReadBuildInfo): module path/version, Go toolchain, and build
 // settings.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, buildinfo.Get())
+	WriteJSON(w, http.StatusOK, buildinfo.Get())
 }
 
-type nodeJSON struct {
+// NodeJSON is one element of GET /v1/nodes.
+type NodeJSON struct {
 	Addr        string   `json:"addr"`
 	Neighbors   []string `json:"neighbors"`
 	Tuples      int      `json:"tuples"`
@@ -365,10 +400,11 @@ type nodeJSON struct {
 	SentBytes   int      `json:"sentBytes"`
 }
 
-type nodesJSON struct {
+// NodesJSON is the GET /v1/nodes body.
+type NodesJSON struct {
 	Version uint64     `json:"version"`
 	Time    int64      `json:"virtualTimeUs"`
-	Nodes   []nodeJSON `json:"nodes"`
+	Nodes   []NodeJSON `json:"nodes"`
 }
 
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
@@ -377,10 +413,10 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Nodes is always a JSON array, never null.
-	out := nodesJSON{Version: snap.Version, Time: int64(snap.Time), Nodes: []nodeJSON{}}
+	out := NodesJSON{Version: snap.Version, Time: int64(snap.Time), Nodes: []NodeJSON{}}
 	for _, addr := range snap.Nodes {
 		info := snap.Info[addr]
-		out.Nodes = append(out.Nodes, nodeJSON{
+		out.Nodes = append(out.Nodes, NodeJSON{
 			Addr:        addr,
 			Neighbors:   info.Neighbors,
 			Tuples:      info.Tuples,
@@ -390,14 +426,15 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 			SentBytes:   info.SentBytes,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
-type stateJSON struct {
+// StateJSON is the GET /v1/state/{node} body.
+type StateJSON struct {
 	Version uint64                 `json:"version"`
 	Time    int64                  `json:"virtualTimeUs"`
 	Node    string                 `json:"node"`
-	Tables  map[string][]tupleJSON `json:"tables"`
+	Tables  map[string][]TupleJSON `json:"tables"`
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
@@ -408,23 +445,27 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	addr := r.PathValue("node")
 	tables, ok := snap.NodeTables(addr)
 	if !ok {
-		writeErr(w, http.StatusNotFound, ErrUnknownNode, "unknown node %q", addr)
+		if apiErr := snap.misdirected(addr); apiErr != nil {
+			WriteAPIError(w, apiErr)
+			return
+		}
+		WriteErr(w, http.StatusNotFound, ErrUnknownNode, "unknown node %q", addr)
 		return
 	}
-	out := stateJSON{Version: snap.Version, Time: int64(snap.Time), Node: addr}
+	out := StateJSON{Version: snap.Version, Time: int64(snap.Time), Node: addr}
 
 	// ?t=<virtual time in us> time-travels through the logstore history
 	// instead of reading the snapshot's own instant.
 	if raw := r.URL.Query().Get("t"); raw != "" {
 		us, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad virtual time %q", raw)
+			WriteErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad virtual time %q", raw)
 			return
 		}
 		view := snap.History.At(simnet.Time(us))
 		sn, ok := view[addr]
 		if !ok {
-			writeErr(w, http.StatusNotFound, ErrUnknownNode,
+			WriteErr(w, http.StatusNotFound, ErrUnknownNode,
 				"no capture of %q at or before t=%dus in the retained history", addr, us)
 			return
 		}
@@ -433,25 +474,25 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	}
 
 	relFilter := r.URL.Query().Get("rel")
-	out.Tables = map[string][]tupleJSON{}
+	out.Tables = map[string][]TupleJSON{}
 	for name, ts := range tables {
 		if relFilter != "" && name != relFilter {
 			continue
 		}
-		rows := make([]tupleJSON, len(ts))
+		rows := make([]TupleJSON, len(ts))
 		for i, t := range ts {
-			rows[i] = jsonTuple(t)
+			rows[i] = JSONTuple(t)
 		}
 		out.Tables[name] = rows
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
-// queryRequest is the /query body (and one element of a batch's
+// QueryRequest is the /query body (and one element of a batch's
 // queries array). Either q (the textual query language) or type+tuple
 // (structured form) must be set. Inside a batch, version must be unset
 // — the batch pins one snapshot for every query it carries.
-type queryRequest struct {
+type QueryRequest struct {
 	Q       string `json:"q,omitempty"`
 	Type    string `json:"type,omitempty"`
 	Tuple   string `json:"tuple,omitempty"`
@@ -465,29 +506,30 @@ type queryRequest struct {
 	} `json:"options"`
 }
 
-type queryStatsJSON struct {
+// QueryStatsJSON is the modeled-traffic object of a query response.
+type QueryStatsJSON struct {
 	Messages int `json:"messages"`
 	Bytes    int `json:"bytes"`
 }
 
-// queryResponse is the /query body. It contains only version-determined
+// QueryResponse is the /query body. It contains only version-determined
 // fields: two requests pinned to the same snapshot version always get
 // byte-identical bodies, whether served from the sub-proof cache or by
 // a fresh traversal — and a batch result element renders the identical
 // JSON for the identical query. Cache observability travels in the
 // X-Cache, X-Cache-Hits, and X-Cache-Misses response headers instead.
-type queryResponse struct {
+type QueryResponse struct {
 	Version   uint64         `json:"version"`
 	Time      int64          `json:"virtualTimeUs"`
 	Type      string         `json:"type"`
 	Pruned    bool           `json:"pruned,omitempty"`
 	Truncated bool           `json:"truncated,omitempty"`
-	Proof     *proofJSON     `json:"proof,omitempty"`
+	Proof     *ProofJSON     `json:"proof,omitempty"`
 	Text      string         `json:"text,omitempty"`
-	Bases     []tupleJSON    `json:"bases,omitempty"`
+	Bases     []TupleJSON    `json:"bases,omitempty"`
 	Nodes     []string       `json:"nodes,omitempty"`
 	Count     *int           `json:"count,omitempty"`
-	Stats     queryStatsJSON `json:"stats"`
+	Stats     QueryStatsJSON `json:"stats"`
 }
 
 // setCacheHeaders reports a CachedQuery outcome on the response.
@@ -502,9 +544,9 @@ func setCacheHeaders(w http.ResponseWriter, snap *Snapshot, hit bool) {
 	w.Header().Set("X-Cache-Misses", strconv.FormatInt(misses, 10))
 }
 
-// resolveTupleAt parses a tuple literal and resolves the node to query
+// ResolveTupleAt parses a tuple literal and resolves the node to query
 // at: the explicit at argument, else the tuple's location attribute.
-func resolveTupleAt(lit, at string) (rel.Tuple, string, error) {
+func ResolveTupleAt(lit, at string) (rel.Tuple, string, error) {
 	t, err := provquery.ParseTupleLiteral(lit)
 	if err != nil {
 		return rel.Tuple{}, "", err
@@ -519,27 +561,28 @@ func resolveTupleAt(lit, at string) (rel.Tuple, string, error) {
 	return t, at, nil
 }
 
-// resolveRequest turns one query request body into walk inputs: both
+// ResolveQueryRequest turns one query request body into walk inputs:
+// both
 // request forms reduce to (type, tuple, at, opts) before any
 // evaluation, so every malformed query is a 400 and only missing
 // provenance is a 404.
-func resolveRequest(req *queryRequest) (typ provquery.QueryType, t rel.Tuple, at string, opts provquery.Options, apiErr *apiError) {
+func ResolveQueryRequest(req *QueryRequest) (typ provquery.QueryType, t rel.Tuple, at string, opts provquery.Options, apiErr *APIError) {
 	switch {
 	case req.Q != "":
 		parsed, err := provquery.ParseQuery(req.Q)
 		if err != nil {
-			return 0, rel.Tuple{}, "", opts, errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
+			return 0, rel.Tuple{}, "", opts, Errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
 		}
 		typ, t, at, opts = parsed.Type, parsed.Tuple, parsed.At, parsed.Opts
 	case req.Type != "" && req.Tuple != "":
 		var err error
 		typ, err = provquery.ParseQueryType(req.Type)
 		if err != nil {
-			return 0, rel.Tuple{}, "", opts, errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
+			return 0, rel.Tuple{}, "", opts, Errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
 		}
-		t, at, err = resolveTupleAt(req.Tuple, req.At)
+		t, at, err = ResolveTupleAt(req.Tuple, req.At)
 		if err != nil {
-			return 0, rel.Tuple{}, "", opts, errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
+			return 0, rel.Tuple{}, "", opts, Errf(http.StatusBadRequest, ErrInvalidQuery, "%v", err)
 		}
 		opts = provquery.Options{
 			Threshold:  req.Options.Threshold,
@@ -549,7 +592,7 @@ func resolveRequest(req *queryRequest) (typ provquery.QueryType, t rel.Tuple, at
 		}
 	default:
 		return 0, rel.Tuple{}, "", opts,
-			errf(http.StatusBadRequest, ErrInvalidRequest, `need "q" or "type"+"tuple"`)
+			Errf(http.StatusBadRequest, ErrInvalidRequest, `need "q" or "type"+"tuple"`)
 	}
 	if apiErr := validateOptions(opts); apiErr != nil {
 		return 0, rel.Tuple{}, "", opts, apiErr
@@ -557,47 +600,48 @@ func resolveRequest(req *queryRequest) (typ provquery.QueryType, t rel.Tuple, at
 	return typ, t, at, opts, nil
 }
 
-// evalQuery runs one resolved query against snap (through the
-// per-version sub-proof cache) and renders the version-determined
-// response.
-// queryError maps a traversal failure to its stable API error: the
-// one mapping shared by every query-evaluating endpoint, so the same
-// defect never earns different codes on different routes.
-func queryError(err error) *apiError {
-	if ce, ok := ctxError(err); ok {
+// QueryError maps a traversal failure to its stable API error: the
+// one mapping shared by every query-evaluating endpoint (and by the
+// gateway), so the same defect never earns different codes on
+// different routes.
+func QueryError(err error) *APIError {
+	if ce, ok := CtxError(err); ok {
 		return ce
 	}
 	if errors.Is(err, provquery.ErrUnknownNode) {
-		return errf(http.StatusNotFound, ErrUnknownNode, "%v", err)
+		return Errf(http.StatusNotFound, ErrUnknownNode, "%v", err)
+	}
+	if errors.Is(err, provquery.ErrNotOwned) {
+		return Errf(http.StatusMisdirectedRequest, ErrWrongShard,
+			"%v (query a gateway, or the owning shard)", err)
 	}
 	// Unknown tuples surface here; the snapshot simply has no
 	// provenance for them.
-	return errf(http.StatusNotFound, ErrNoProvenance, "%v", err)
+	return Errf(http.StatusNotFound, ErrNoProvenance, "%v", err)
 }
 
-func (s *Server) evalQuery(ctx context.Context, snap *Snapshot, typ provquery.QueryType, at string, t rel.Tuple, opts provquery.Options) (*queryResponse, bool, *apiError) {
-	res, hit, err := snap.CachedQueryContext(ctx, typ, at, t, s.clampOpts(opts))
-	if err != nil {
-		return nil, false, queryError(err)
-	}
-
-	out := &queryResponse{
-		Version:   snap.Version,
-		Time:      int64(snap.Time),
+// RenderQueryResponse renders a finished traversal as the
+// version-determined /v1/query response document. The shard server
+// and the gateway share this renderer, which is what makes federated
+// answers byte-identical to single-process ones.
+func RenderQueryResponse(version uint64, timeUs int64, res *provquery.Result) *QueryResponse {
+	out := &QueryResponse{
+		Version:   version,
+		Time:      timeUs,
 		Type:      res.Type.String(),
 		Pruned:    res.Pruned,
 		Truncated: res.Truncated,
-		Stats:     queryStatsJSON{Messages: res.Stats.Messages, Bytes: res.Stats.Bytes},
+		Stats:     QueryStatsJSON{Messages: res.Stats.Messages, Bytes: res.Stats.Bytes},
 	}
 	switch res.Type {
 	case provquery.Lineage:
-		pj := jsonProof(res.Root)
+		pj := JSONProof(res.Root)
 		out.Proof = &pj
 		out.Text = viz.ProofTree(res.Root, viz.ProofTreeOptions{})
 	case provquery.BaseTuples:
-		out.Bases = []tupleJSON{}
+		out.Bases = []TupleJSON{}
 		for _, b := range res.Bases {
-			tj := jsonTuple(b.Tuple)
+			tj := JSONTuple(b.Tuple)
 			out.Bases = append(out.Bases, tj)
 		}
 	case provquery.Nodes:
@@ -605,38 +649,49 @@ func (s *Server) evalQuery(ctx context.Context, snap *Snapshot, typ provquery.Qu
 	case provquery.DerivCount:
 		out.Count = &res.Count
 	}
-	return out, hit, nil
+	return out
+}
+
+// evalQuery runs one resolved query against snap (through the
+// per-version sub-proof cache) and renders the version-determined
+// response.
+func (s *Server) evalQuery(ctx context.Context, snap *Snapshot, typ provquery.QueryType, at string, t rel.Tuple, opts provquery.Options) (*QueryResponse, bool, *APIError) {
+	res, hit, err := snap.CachedQueryContext(ctx, typ, at, t, s.clampOpts(opts))
+	if err != nil {
+		return nil, false, QueryError(err)
+	}
+	return RenderQueryResponse(snap.Version, int64(snap.Time), res), hit, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
+	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad request body: %v", err)
+		WriteErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad request body: %v", err)
 		return
 	}
 	snap, apiErr := s.snapshotAt(req.Version)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return
 	}
-	typ, t, at, opts, apiErr := resolveRequest(&req)
+	typ, t, at, opts, apiErr := ResolveQueryRequest(&req)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return
 	}
 	ctx, cancel, apiErr := s.queryContext(r)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return
 	}
 	defer cancel()
 	out, hit, apiErr := s.evalQuery(ctx, snap, typ, at, t, opts)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return
 	}
 	setCacheHeaders(w, snap, hit)
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 // ---- POST /v1/query/batch ----------------------------------------------
@@ -647,11 +702,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // re-traversal — and the whole batch costs one HTTP round trip.
 type batchRequest struct {
 	Version uint64         `json:"version,omitempty"`
-	Queries []queryRequest `json:"queries"`
+	Queries []QueryRequest `json:"queries"`
 }
 
 // batchResponse carries one result element per query, in order. Each
-// element is either the exact queryResponse document the equivalent
+// element is either the exact QueryResponse document the equivalent
 // individual POST /v1/query would have returned (identical JSON modulo
 // indentation depth) or an error envelope in the uniform shape.
 type batchResponse struct {
@@ -660,39 +715,39 @@ type batchResponse struct {
 	Results []json.RawMessage `json:"results"`
 }
 
-// maxBatchQueries bounds one batch request.
-const maxBatchQueries = 1024
+// MaxBatchQueries bounds one batch request.
+const MaxBatchQueries = 1024
 
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad request body: %v", err)
+		WriteErr(w, http.StatusBadRequest, ErrInvalidRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "empty batch: need at least one query")
+		WriteErr(w, http.StatusBadRequest, ErrInvalidRequest, "empty batch: need at least one query")
 		return
 	}
-	if len(req.Queries) > maxBatchQueries {
-		writeErr(w, http.StatusBadRequest, ErrInvalidRequest,
-			"batch of %d queries exceeds the maximum %d", len(req.Queries), maxBatchQueries)
+	if len(req.Queries) > MaxBatchQueries {
+		WriteErr(w, http.StatusBadRequest, ErrInvalidRequest,
+			"batch of %d queries exceeds the maximum %d", len(req.Queries), MaxBatchQueries)
 		return
 	}
 	for i := range req.Queries {
 		if req.Queries[i].Version != 0 {
-			writeErr(w, http.StatusBadRequest, ErrInvalidRequest,
+			WriteErr(w, http.StatusBadRequest, ErrInvalidRequest,
 				"queries[%d] sets version; the batch-level version pins the snapshot for every query", i)
 			return
 		}
 	}
 	snap, apiErr := s.snapshotAt(req.Version)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return
 	}
 	ctx, cancel, apiErr := s.queryContext(r)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return
 	}
 	defer cancel()
@@ -708,11 +763,11 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		// A dead client or an expired deadline aborts the whole batch
 		// with a structured error — never a partial results array.
 		if err := ctx.Err(); err != nil {
-			ce, _ := ctxError(err)
-			writeAPIError(w, ce)
+			ce, _ := CtxError(err)
+			WriteAPIError(w, ce)
 			return
 		}
-		typ, t, at, opts, itemErr := resolveRequest(&req.Queries[i])
+		typ, t, at, opts, itemErr := ResolveQueryRequest(&req.Queries[i])
 		if itemErr == nil {
 			key := queryCacheKey{at: at, vid: t.VID(), typ: typ, opts: s.clampOpts(opts)}
 			if cached, ok := local[key]; ok {
@@ -727,27 +782,27 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				b, err := json.Marshal(out)
 				if err != nil {
-					writeErr(w, http.StatusInternalServerError, ErrInternal, "encode: %v", err)
+					WriteErr(w, http.StatusInternalServerError, ErrInternal, "encode: %v", err)
 					return
 				}
 				local[key] = b
 				results = append(results, b)
 				continue
 			}
-			if evalErr.code == ErrQueryCancelled || evalErr.code == ErrQueryTimeout {
-				writeAPIError(w, evalErr)
+			if evalErr.Code == ErrQueryCancelled || evalErr.Code == ErrQueryTimeout {
+				WriteAPIError(w, evalErr)
 				return
 			}
 			itemErr = evalErr
 		}
-		results = append(results, marshalError(itemErr))
+		results = append(results, MarshalError(itemErr))
 	}
 
 	hitsTotal, missesTotal := snap.CacheCounters()
 	w.Header().Set("X-Batch-Cache-Hits", strconv.Itoa(hits))
 	w.Header().Set("X-Cache-Hits", strconv.FormatInt(hitsTotal, 10))
 	w.Header().Set("X-Cache-Misses", strconv.FormatInt(missesTotal, 10))
-	writeJSON(w, http.StatusOK, batchResponse{
+	WriteJSON(w, http.StatusOK, batchResponse{
 		Version: snap.Version,
 		Time:    int64(snap.Time),
 		Results: results,
@@ -763,23 +818,23 @@ func (s *Server) handleProofDOT(w http.ResponseWriter, r *http.Request) {
 	}
 	lit := r.URL.Query().Get("tuple")
 	if lit == "" {
-		writeErr(w, http.StatusBadRequest, ErrInvalidRequest, "missing ?tuple= literal")
+		WriteErr(w, http.StatusBadRequest, ErrInvalidRequest, "missing ?tuple= literal")
 		return
 	}
-	t, at, err := resolveTupleAt(lit, r.URL.Query().Get("at"))
+	t, at, err := ResolveTupleAt(lit, r.URL.Query().Get("at"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, ErrInvalidQuery, "%v", err)
+		WriteErr(w, http.StatusBadRequest, ErrInvalidQuery, "%v", err)
 		return
 	}
 	ctx, cancel, apiErr := s.queryContext(r)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		WriteAPIError(w, apiErr)
 		return
 	}
 	defer cancel()
 	res, hit, err := snap.CachedQueryContext(ctx, provquery.Lineage, at, t, s.clampOpts(provquery.Options{}))
 	if err != nil {
-		writeAPIError(w, queryError(err))
+		WriteAPIError(w, QueryError(err))
 		return
 	}
 	setCacheHeaders(w, snap, hit)

@@ -32,6 +32,7 @@ package server
 
 import (
 	"fmt"
+	"net/http"
 	"sync/atomic"
 
 	"repro/internal/engine"
@@ -41,6 +42,53 @@ import (
 	"repro/internal/rel"
 	"repro/internal/simnet"
 )
+
+// ShardSpec places one serving process inside a sharded deployment:
+// it is shard Index of Total. Node ownership is positional and
+// deterministic — the network's sorted node list is dealt round-robin,
+// so node k (0-based position in the sorted list) belongs to shard
+// k mod Total. Every shard and every gateway derives the same routing
+// table from the node list alone; no coordination service is needed.
+// The zero value (and any Total <= 1) means unsharded: one process
+// owns every partition.
+type ShardSpec struct {
+	// Index is this shard's 0-based position, 0 <= Index < Total.
+	Index int
+	// Total is how many shards the deployment is split across.
+	Total int
+}
+
+// Unsharded reports whether the spec describes a whole-network
+// (single-process) deployment.
+func (s ShardSpec) Unsharded() bool { return s.Total <= 1 }
+
+// String renders the spec in the "index/total" form the -shard flag
+// accepts.
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Total) }
+
+// ShardOf returns which shard of total owns the node at 0-based
+// position pos of the sorted node list.
+func ShardOf(pos, total int) int {
+	if total <= 1 {
+		return 0
+	}
+	return pos % total
+}
+
+// OwnedNodes filters the sorted node list down to the addresses the
+// spec's shard owns (all of them when unsharded).
+func (s ShardSpec) OwnedNodes(sorted []string) []string {
+	if s.Unsharded() {
+		return sorted
+	}
+	var out []string
+	for i, addr := range sorted {
+		if ShardOf(i, s.Total) == s.Index {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
 
 // NodeInfo is the per-node metadata frozen into a snapshot.
 type NodeInfo struct {
@@ -62,8 +110,16 @@ type Snapshot struct {
 	Version uint64
 	// Time is the virtual time of the epoch that produced the snapshot.
 	Time simnet.Time
-	// Nodes lists node addresses, sorted.
+	// Nodes lists the node addresses this snapshot holds partitions
+	// for, sorted — every node of the network when unsharded, only the
+	// owned subset on a shard.
 	Nodes []string
+	// AllNodes lists every node address in the whole network, sorted.
+	// Identical to Nodes when unsharded.
+	AllNodes []string
+	// Shard records which slice of the deployment this snapshot serves
+	// (the zero value when unsharded).
+	Shard ShardSpec
 	// Tables maps node -> relation -> visible tuples (sorted).
 	Tables map[string]map[string][]rel.Tuple
 	// Info maps node -> frozen metadata.
@@ -99,6 +155,22 @@ func (s *Snapshot) NodeTables(addr string) (map[string][]rel.Tuple, bool) {
 	return t, ok
 }
 
+// misdirected returns the wrong-shard error for a node that exists in
+// the network but is owned by another shard, and nil otherwise.
+func (s *Snapshot) misdirected(addr string) *APIError {
+	if s.Shard.Unsharded() || s.Tables[addr] != nil {
+		return nil
+	}
+	for i, a := range s.AllNodes {
+		if a == addr {
+			return Errf(http.StatusMisdirectedRequest, ErrWrongShard,
+				"node %q is owned by shard %d/%d, not this shard (%s)",
+				addr, ShardOf(i, s.Shard.Total), s.Shard.Total, s.Shard)
+		}
+	}
+	return nil
+}
+
 // ring is the immutable list of retained snapshots, ascending by
 // version; the last element is current. Swapped wholesale on publish.
 type ring struct {
@@ -112,6 +184,8 @@ type ring struct {
 type Publisher struct {
 	eng    *engine.Engine
 	retain int
+	shard  ShardSpec
+	owned  map[string]bool
 
 	cur atomic.Pointer[ring]
 
@@ -132,16 +206,41 @@ const DefaultRetain = 64
 // nil. retain bounds how many recent versions stay pinnable (values
 // < 1 mean DefaultRetain).
 func NewPublisher(eng *engine.Engine, retain int) (*Publisher, error) {
+	return NewShardedPublisher(eng, retain, ShardSpec{})
+}
+
+// NewShardedPublisher is NewPublisher for one shard of a sharded
+// deployment: the publisher freezes and retains only the partitions of
+// the nodes the spec owns (round-robin over the sorted node list), so
+// snapshot memory, history, and caches scale with the shard, not the
+// network. Version numbering stays global: a snapshot is published
+// whenever any node's state changed, owned or not, so every shard of
+// the same deterministic run mints the same dense version sequence and
+// a gateway can pin one version across all of them. Queries served
+// from a sharded snapshot fail with a wrong-shard error if their
+// traversal leaves the owned partitions.
+func NewShardedPublisher(eng *engine.Engine, retain int, shard ShardSpec) (*Publisher, error) {
 	if retain < 1 {
 		retain = DefaultRetain
+	}
+	if shard.Total < 0 || (shard.Total > 0 && (shard.Index < 0 || shard.Index >= shard.Total)) {
+		return nil, fmt.Errorf("server: bad shard spec %s", shard)
+	}
+	if shard.Total > len(eng.Nodes()) {
+		return nil, fmt.Errorf("server: %d shards over %d nodes leaves empty shards", shard.Total, len(eng.Nodes()))
 	}
 	p := &Publisher{
 		eng:        eng,
 		retain:     retain,
+		shard:      shard,
+		owned:      map[string]bool{},
 		lastState:  map[string]uint64{},
 		lastProv:   map[string]uint64{},
 		lastTabVer: map[string]map[string]uint64{},
 		lastTables: map[string]map[string][]rel.Tuple{},
+	}
+	for _, addr := range shard.OwnedNodes(eng.Nodes()) {
+		p.owned[addr] = true
 	}
 	for _, addr := range eng.Nodes() {
 		n, _ := eng.Node(addr)
@@ -154,6 +253,16 @@ func NewPublisher(eng *engine.Engine, retain int) (*Publisher, error) {
 	eng.SetEpochObserver(func() { p.Publish() })
 	return p, nil
 }
+
+// Shard returns which slice of the deployment this publisher serves
+// (the zero ShardSpec when unsharded).
+func (p *Publisher) Shard() ShardSpec { return p.shard }
+
+// Engine returns the engine this publisher observes. Everything but
+// the snapshot accessors must run on the simulation thread; the
+// engine is exposed for the process that owns that thread (churn
+// loops, tests), not for HTTP readers.
+func (p *Publisher) Engine() *engine.Engine { return p.eng }
 
 // Detach removes the publisher from the engine's epoch observer. The
 // already-published snapshots remain readable.
@@ -192,11 +301,16 @@ func (p *Publisher) Versions() (oldest, newest uint64) {
 // It runs on the simulation thread (epoch observer); between epochs no
 // worker is active, so reading every node is race-free. When no node's
 // state changed since the last publish, the current snapshot is
-// returned unchanged — versions advance only with state.
+// returned unchanged — versions advance only with state. The change
+// check always spans the whole network, even on a sharded publisher,
+// so every shard of the same deterministic run mints the same version
+// sequence (what lets a gateway pin one version everywhere); only the
+// freezing is restricted to owned nodes.
 func (p *Publisher) Publish() *Snapshot {
 	prev := p.cur.Load()
+	all := p.eng.Nodes()
 	changed := len(prev.snaps) == 0
-	for _, addr := range p.eng.Nodes() {
+	for _, addr := range all {
 		n, _ := p.eng.Node(addr)
 		if p.lastState[addr] != n.RT.Store.StateVersion() || p.lastProv[addr] != n.Prov.Version() {
 			changed = true
@@ -207,21 +321,30 @@ func (p *Publisher) Publish() *Snapshot {
 		return prev.snaps[len(prev.snaps)-1]
 	}
 
+	owned := p.shard.OwnedNodes(all)
 	now := p.eng.Net.Now()
 	snap := &Snapshot{
-		Version: 1,
-		Time:    now,
-		Nodes:   p.eng.Nodes(),
-		Tables:  make(map[string]map[string][]rel.Tuple, len(p.eng.Nodes())),
-		Info:    make(map[string]NodeInfo, len(p.eng.Nodes())),
-		views:   make(map[string]*provenance.View, len(p.eng.Nodes())),
+		Version:  1,
+		Time:     now,
+		Nodes:    owned,
+		AllNodes: all,
+		Shard:    p.shard,
+		Tables:   make(map[string]map[string][]rel.Tuple, len(owned)),
+		Info:     make(map[string]NodeInfo, len(owned)),
+		views:    make(map[string]*provenance.View, len(owned)),
 	}
 	if len(prev.snaps) > 0 {
 		snap.Version = prev.snaps[len(prev.snaps)-1].Version + 1
 	}
 
-	views := make(map[string]provquery.PartitionView, len(snap.Nodes))
-	for _, addr := range snap.Nodes {
+	for _, addr := range all {
+		n, _ := p.eng.Node(addr)
+		p.lastState[addr] = n.RT.Store.StateVersion()
+		p.lastProv[addr] = n.Prov.Version()
+	}
+
+	views := make(map[string]provquery.PartitionView, len(owned))
+	for _, addr := range owned {
 		n, _ := p.eng.Node(addr)
 		snap.Tables[addr] = p.freezeTables(addr, n)
 		v := n.Prov.View() // cached inside the store while unchanged
@@ -242,9 +365,6 @@ func (p *Publisher) Publish() *Snapshot {
 		}
 		snap.Info[addr] = info
 
-		p.lastState[addr] = n.RT.Store.StateVersion()
-		p.lastProv[addr] = n.Prov.Version()
-
 		p.history = append(p.history, logstore.Snapshot{
 			Time:        now,
 			Node:        addr,
@@ -259,11 +379,15 @@ func (p *Publisher) Publish() *Snapshot {
 	// Trim history to the retention window. Resliced-away prefixes stay
 	// valid inside older snapshots' History stores: appends only ever
 	// write past every published length.
-	if maxLen := p.retain * len(snap.Nodes); len(p.history) > maxLen {
+	if maxLen := p.retain * len(owned); len(p.history) > maxLen {
 		p.history = p.history[len(p.history)-maxLen:]
 	}
 	snap.History = logstore.FromSorted(p.history[:len(p.history):len(p.history)])
-	snap.query = provquery.NewSnapshotClient(views)
+	if p.shard.Unsharded() {
+		snap.query = provquery.NewSnapshotClient(views)
+	} else {
+		snap.query = provquery.NewPartialSnapshotClient(views, all)
+	}
 	snap.cache = newQueryCache()
 
 	snaps := append(append([]*Snapshot{}, prev.snaps...), snap)

@@ -246,7 +246,7 @@ func TestErrorCodesConsistentAcrossEndpoints(t *testing.T) {
 	}
 }
 
-// normalizeJSON re-indents a JSON document exactly as writeJSON does,
+// normalizeJSON re-indents a JSON document exactly as WriteJSON does,
 // so a batch result element can be compared byte-for-byte against the
 // equivalent individual response body.
 func normalizeJSON(t *testing.T, raw []byte) []byte {

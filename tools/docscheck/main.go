@@ -1,0 +1,225 @@
+// docscheck keeps the documentation honest: it walks the repo's
+// operator-facing markdown (README.md plus docs/) and fails when the
+// docs drift from the code they describe. Three checks:
+//
+//   - relative markdown links must point at files that exist;
+//   - `go run ./cmd/<name>` commands inside shell code fences must
+//     name a real command, and every -flag they pass must be defined
+//     by that command's flag set;
+//   - `make <target>` commands must name a real Makefile target.
+//
+// It is wired up as `make docs-check` and runs in CI, so a renamed
+// flag, a deleted doc, or a stale quickstart breaks the build instead
+// of the next reader.
+//
+// Usage: docscheck [-root dir] [paths...]  (default: README.md docs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	linkRe    = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	fenceRe   = regexp.MustCompile("^```")
+	goRunRe   = regexp.MustCompile(`go run (\./[a-zA-Z0-9_/.-]+)`)
+	makeRe    = regexp.MustCompile(`\bmake ([a-zA-Z0-9_.-]+)`)
+	flagDefRe = regexp.MustCompile(`flag\.[A-Za-z0-9]+\("([a-zA-Z0-9_.-]+)"`)
+	flagUseRe = regexp.MustCompile(`^-([a-zA-Z][a-zA-Z0-9_.-]*)`)
+	targetRe  = regexp.MustCompile(`(?m)^([A-Za-z0-9_.-]+):`)
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root the docs and commands resolve against")
+	flag.Parse()
+	paths := flag.Args()
+	if len(paths) == 0 {
+		paths = []string{"README.md", "docs"}
+	}
+
+	var files []string
+	for _, p := range paths {
+		full := filepath.Join(*root, p)
+		st, err := os.Stat(full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(1)
+		}
+		if st.IsDir() {
+			ents, err := os.ReadDir(full)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+				os.Exit(1)
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+					files = append(files, filepath.Join(full, e.Name()))
+				}
+			}
+		} else {
+			files = append(files, full)
+		}
+	}
+
+	var problems []string
+	for _, f := range files {
+		problems = append(problems, checkFile(*root, f)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck: "+p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) clean\n", len(files))
+}
+
+// checkFile runs every check over one markdown file.
+func checkFile(root, path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	add := func(line int, format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", path, line, fmt.Sprintf(format, args...)))
+	}
+
+	lines := strings.Split(string(data), "\n")
+	inFence := false
+	for i, line := range lines {
+		lineNo := i + 1
+		if fenceRe.MatchString(strings.TrimSpace(line)) {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			// Relative links must resolve.
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					add(lineNo, "broken link %q", m[1])
+				}
+			}
+			continue
+		}
+		// Inside a code fence: join continuation lines, then check the
+		// command-shaped ones.
+		if i > 0 && strings.HasSuffix(strings.TrimSpace(lines[i-1]), "\\") {
+			continue // already consumed by the joined command below
+		}
+		cmd := strings.TrimSpace(line)
+		for j := i; strings.HasSuffix(cmd, "\\") && j+1 < len(lines); j++ {
+			cmd = strings.TrimSuffix(cmd, "\\") + " " + strings.TrimSpace(lines[j+1])
+		}
+		problems = append(problems, checkCommand(root, path, lineNo, cmd)...)
+	}
+	return problems
+}
+
+// checkCommand validates one joined shell command from a code fence.
+func checkCommand(root, path string, lineNo int, cmd string) []string {
+	var problems []string
+	add := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", path, lineNo, fmt.Sprintf(format, args...)))
+	}
+
+	if m := goRunRe.FindStringSubmatch(cmd); m != nil {
+		pkg := m[1]
+		dir := filepath.Join(root, pkg)
+		if _, err := os.Stat(dir); err != nil {
+			add("go run %s: no such package directory", pkg)
+			return problems
+		}
+		defined, err := definedFlags(dir)
+		if err != nil {
+			add("go run %s: %v", pkg, err)
+			return problems
+		}
+		if defined == nil {
+			return problems // not a main package with flags (e.g. examples)
+		}
+		rest := cmd[strings.Index(cmd, pkg)+len(pkg):]
+		for _, tok := range strings.Fields(rest) {
+			fm := flagUseRe.FindStringSubmatch(tok)
+			if fm == nil {
+				continue
+			}
+			name := fm[1]
+			if i := strings.IndexByte(name, '='); i >= 0 {
+				name = name[:i]
+			}
+			if !defined[name] {
+				add("go run %s: flag -%s is not defined by %s", pkg, name, pkg)
+			}
+		}
+	}
+
+	for _, m := range makeRe.FindAllStringSubmatch(cmd, -1) {
+		target := m[1]
+		ok, err := makefileHasTarget(root, target)
+		if err != nil {
+			add("%v", err)
+		} else if !ok {
+			add("make %s: no such Makefile target", target)
+		}
+	}
+	return problems
+}
+
+// definedFlags collects the flag names a command's package registers;
+// nil (no error) when the package defines no flags at all.
+func definedFlags(dir string) (map[string]bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var defined map[string]bool
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range flagDefRe.FindAllStringSubmatch(string(src), -1) {
+			if defined == nil {
+				defined = map[string]bool{}
+			}
+			defined[m[1]] = true
+		}
+	}
+	return defined, nil
+}
+
+func makefileHasTarget(root, target string) (bool, error) {
+	data, err := os.ReadFile(filepath.Join(root, "Makefile"))
+	if err != nil {
+		return false, err
+	}
+	for _, m := range targetRe.FindAllStringSubmatch(string(data), -1) {
+		for _, t := range strings.Fields(m[1]) {
+			if t == target {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a scratch repo for the checker to walk.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		full := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestChecksCatchDrift(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile": "all: build\nbuild:\n\ttrue\n",
+		"cmd/demo/main.go": `package main
+import "flag"
+func main() {
+	_ = flag.String("listen", "", "")
+	_ = flag.Int("nodes", 4, "")
+}`,
+		"docs/good.md": "See [the readme](../README.md).\n" +
+			"```sh\ngo run ./cmd/demo -listen :8080 \\\n    -nodes 9\nmake build\n```\n",
+		"README.md": "hello [docs](docs/good.md)\n",
+		"docs/bad.md": "A [broken link](missing.md).\n" +
+			"```sh\ngo run ./cmd/demo -port 80\ngo run ./cmd/ghost\nmake deploy\n```\n",
+	})
+
+	if got := checkFile(root, filepath.Join(root, "docs", "good.md")); len(got) != 0 {
+		t.Fatalf("good.md flagged: %v", got)
+	}
+	if got := checkFile(root, filepath.Join(root, "README.md")); len(got) != 0 {
+		t.Fatalf("README.md flagged: %v", got)
+	}
+
+	got := checkFile(root, filepath.Join(root, "docs", "bad.md"))
+	want := []string{"broken link", "flag -port", "no such package directory", "make deploy"}
+	if len(got) != len(want) {
+		t.Fatalf("bad.md: got %d problems %v, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(got[i], w) {
+			t.Fatalf("problem %d = %q, want mention of %q", i, got[i], w)
+		}
+	}
+}
+
+// TestRepoDocsAreClean runs the real checks over the repository's own
+// README and docs — the same gate `make docs-check` applies in CI.
+func TestRepoDocsAreClean(t *testing.T) {
+	root := "../.."
+	var problems []string
+	for _, p := range []string{"README.md", "docs"} {
+		st, err := os.Stat(filepath.Join(root, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.IsDir() {
+			ents, err := os.ReadDir(filepath.Join(root, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if strings.HasSuffix(e.Name(), ".md") {
+					problems = append(problems, checkFile(root, filepath.Join(root, p, e.Name()))...)
+				}
+			}
+		} else {
+			problems = append(problems, checkFile(root, filepath.Join(root, p))...)
+		}
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
