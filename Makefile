@@ -1,12 +1,23 @@
 GO ?= go
 FUZZTIME ?= 10s
+# Pinned linter versions: CI reruns must not change meaning because a
+# tool released; bump deliberately, in one reviewed commit.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all vet staticcheck fmt-check build test race fuzz bench serve-smoke docs-check ci clean
+.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench serve-smoke docs-check ci clean
 
 all: fmt-check vet build test
 
+# vet runs the standard analyzers, then the repo's own nettrailsvet
+# suite (docs/ANALYZERS.md) through the go vet driver. Two passes
+# because -vettool *replaces* the standard suite rather than extending
+# it. The vettool must be a prebuilt binary: cmd/go handshakes it with
+# -V=full before any package is analyzed.
 vet:
 	$(GO) vet ./...
+	$(GO) build -o bin/nettrailsvet ./cmd/nettrailsvet
+	$(GO) vet -vettool=$(CURDIR)/bin/nettrailsvet ./...
 
 # staticcheck runs when the binary is installed (CI installs it; local
 # dev machines may not have it, and the build must not require network).
@@ -14,7 +25,17 @@ staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+# govulncheck scans the module against the Go vulnerability database.
+# Like staticcheck it degrades to a no-op where the binary (or the
+# network) is absent, so offline builds stay green.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || exit 1; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
 # fmt-check fails (listing the offenders) when any file needs gofmt.
@@ -78,9 +99,10 @@ serve-smoke:
 docs-check:
 	$(GO) run ./tools/docscheck
 
-ci: fmt-check vet staticcheck build race fuzz serve-smoke docs-check bench
+ci: fmt-check vet staticcheck govulncheck build race fuzz serve-smoke docs-check bench
 
 # clean removes scratch files only; BENCH_*.json are committed
 # trajectory artifacts and must survive a clean.
 clean:
 	rm -f bench_*.out
+	rm -rf bin

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/testutil"
 )
 
 func buildBinary(t *testing.T) string {
@@ -31,6 +32,10 @@ func buildBinary(t *testing.T) string {
 // remaining output accumulates in the returned buffer.
 func startDaemon(t *testing.T, args ...string) (*client.Client, *exec.Cmd, *syncBuffer) {
 	t.Helper()
+	// Registered before the process-kill cleanup below, so the leak
+	// verdict is reached after the daemon is gone and its stdout
+	// scanner goroutine has drained to EOF.
+	testutil.CheckGoroutines(t)
 	bin := buildBinary(t)
 	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
 	stdout, err := cmd.StdoutPipe()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/testutil"
 )
 
 // buildBinary builds one of the repo's commands into a temp dir.
@@ -28,6 +29,10 @@ func buildBinary(t *testing.T, pkg, name string) string {
 // returns the base URL it prints.
 func startProcess(t *testing.T, bin string, args ...string) string {
 	t.Helper()
+	// Registered before the process-kill cleanup below, so the leak
+	// verdict is reached after the process is gone and its stdout
+	// scanner goroutine has drained to EOF.
+	testutil.CheckGoroutines(t)
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

@@ -1,0 +1,34 @@
+// nettrailsvet is the repo's custom static-analysis suite: five
+// analyzers that enforce the invariants the whole reproduction rests
+// on — determinism (mapdeterminism, walltime), snapshot immutability
+// (frozenwrite), the cancellation chain (ctxflow), and the v1 error
+// contract (errenvelope). See docs/ANALYZERS.md for what each one
+// enforces and why.
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(pwd)/bin/nettrailsvet ./...   # make vet / CI
+//	go run ./cmd/nettrailsvet ./...                 # standalone
+//
+// Findings are suppressed per line with a justified
+// `//lint:allow <analyzer> <why>` comment.
+package main
+
+import (
+	"repro/tools/analyzers/ctxflow"
+	"repro/tools/analyzers/errenvelope"
+	"repro/tools/analyzers/frozenwrite"
+	"repro/tools/analyzers/mapdeterminism"
+	"repro/tools/analyzers/multichecker"
+	"repro/tools/analyzers/walltime"
+)
+
+func main() {
+	multichecker.Main("nettrailsvet",
+		mapdeterminism.Analyzer,
+		frozenwrite.Analyzer,
+		ctxflow.Analyzer,
+		errenvelope.Analyzer,
+		walltime.Analyzer,
+	)
+}

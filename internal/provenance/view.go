@@ -10,6 +10,8 @@ import (
 // single instant. Views are built copy-on-publish by Store.View and
 // shared freely across goroutines: nothing ever mutates a View after
 // construction, so readers need no locks.
+//
+// nettrails:frozen (enforced by the frozenwrite analyzer)
 type View struct {
 	addr        string
 	version     uint64

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/provenance"
 	"repro/internal/rel"
+	"repro/internal/testutil"
 )
 
 // cancellingSource cancels the walk's context from inside the graph —
@@ -32,6 +33,7 @@ func (c *cancellingSource) Derivations(loc string, vid rel.ID) ([]provenance.Ent
 // — the walk still unwinds (the continuation fires) but resolves only
 // the vertices visited before the cancellation, and Err reports why.
 func TestWalkCancelledMidWalkStopsExpanding(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const depth = 200
 	const after = 5
 	f := newFakeSource()
@@ -64,6 +66,7 @@ func TestWalkCancelledMidWalkStopsExpanding(t *testing.T) {
 // TestWalkExpiredDeadlineResolvesNothing: a context that is already
 // past its deadline aborts the walk at the very first vertex.
 func TestWalkExpiredDeadlineResolvesNothing(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	f := newFakeSource()
 	vid, loc := chain(f, 10)
 
@@ -87,6 +90,7 @@ func TestWalkExpiredDeadlineResolvesNothing(t *testing.T) {
 // must not be written into per-node caches, where a later full walk
 // would wrongly reuse them.
 func TestWalkAbortNeverCaches(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const depth = 50
 	f := newFakeSource()
 	vid, loc := chain(f, depth)

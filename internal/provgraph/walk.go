@@ -61,6 +61,7 @@ type Walk struct {
 // NewWalk prepares a traversal of the given type over src, without a
 // cancellation context (the walk runs to completion).
 func NewWalk(src Source, typ QueryType, opts Options) *Walk {
+	//lint:allow ctxflow context-free compatibility entry point: a walk without cancellation runs to completion by design
 	return NewWalkContext(context.Background(), src, typ, opts)
 }
 

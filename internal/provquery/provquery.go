@@ -154,6 +154,7 @@ func Attach(eng *engine.Engine) (*Client, error) {
 // Query runs a provenance query for the tuple at its owning node and
 // drives the network until the result is complete.
 func (c *Client) Query(typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
+	//lint:allow ctxflow context-free compatibility entry point: callers who opt out of cancellation get a walk that runs to completion by design
 	return c.QueryContext(context.Background(), typ, at, t, opts)
 }
 

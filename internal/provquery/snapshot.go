@@ -80,6 +80,7 @@ func NewPartialSnapshotClient(views map[string]PartitionView, allNodes []string)
 // per-node caches belong to live nodes, and serving-layer memoization
 // is provided per snapshot version by internal/server instead.
 func (c *SnapshotClient) Query(typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
+	//lint:allow ctxflow context-free compatibility entry point: callers who opt out of cancellation get a walk that runs to completion by design
 	return c.QueryContext(context.Background(), typ, at, t, opts)
 }
 

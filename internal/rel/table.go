@@ -117,8 +117,17 @@ func (t *Table) EnsureIndex(cols []int) error {
 		}
 	}
 	idx := &index{cols: append([]int(nil), cols...), buckets: map[uint64][]ID{}}
-	for vid, r := range t.rows {
-		h, err := r.Tuple.KeyHash(idx.cols)
+	// Backfill in sorted-VID order: bucket contents then have one
+	// run-independent order, so Probe (and every join built on it)
+	// iterates identically across runs. Backfilling straight from the
+	// row-map range would capture Go's randomized iteration order.
+	vids := make([]ID, 0, len(t.rows))
+	for vid := range t.rows {
+		vids = append(vids, vid)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i].Compare(vids[j]) < 0 })
+	for _, vid := range vids {
+		h, err := t.rows[vid].Tuple.KeyHash(idx.cols)
 		if err != nil {
 			return err
 		}
@@ -156,12 +165,16 @@ func (t *Table) Probe(cols []int, key []Value) []*Row {
 		}
 		return out
 	}
+	// Fallback scan: sort the matches so the unindexed path is as
+	// deterministic as the indexed one — map iteration order must not
+	// decide the order joins see their matches in.
 	var out []*Row
 	for _, r := range t.rows {
 		if matchCols(r.Tuple, cols, key) {
 			out = append(out, r)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out
 }
 

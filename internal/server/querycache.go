@@ -80,6 +80,7 @@ func (c *queryCache) put(key queryCacheKey, r *provquery.Result) {
 // counters at serve time. Errors (unknown tuples/nodes) are never
 // cached; they are cheap to recompute.
 func (s *Snapshot) CachedQuery(typ provquery.QueryType, at string, t rel.Tuple, opts provquery.Options) (res *provquery.Result, hit bool, err error) {
+	//lint:allow ctxflow context-free compatibility entry point: callers who opt out of cancellation get a walk that runs to completion by design
 	return s.CachedQueryContext(context.Background(), typ, at, t, opts)
 }
 

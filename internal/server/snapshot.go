@@ -91,6 +91,8 @@ func (s ShardSpec) OwnedNodes(sorted []string) []string {
 }
 
 // NodeInfo is the per-node metadata frozen into a snapshot.
+//
+// nettrails:frozen
 type NodeInfo struct {
 	Addr      string
 	Neighbors []string
@@ -103,6 +105,8 @@ type NodeInfo struct {
 // Snapshot is one immutable published view of the whole system at a
 // consistent virtual instant. Everything reachable from a Snapshot is
 // frozen: concurrent readers share it without synchronization.
+//
+// nettrails:frozen (enforced by the frozenwrite analyzer)
 type Snapshot struct {
 	// Version numbers published snapshots densely from 1; it increases
 	// only when some node's state actually changed, so equal versions
@@ -173,6 +177,8 @@ func (s *Snapshot) misdirected(addr string) *APIError {
 
 // ring is the immutable list of retained snapshots, ascending by
 // version; the last element is current. Swapped wholesale on publish.
+//
+// nettrails:frozen
 type ring struct {
 	snaps []*Snapshot
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/provquery"
+	"repro/internal/testutil"
 )
 
 // decodeEnvelope parses the uniform v1 error envelope.
@@ -442,6 +443,7 @@ func TestBatchErrors(t *testing.T) {
 // whose own context is already dead answers query_cancelled. Both
 // abort before resolving the proof.
 func TestQueryDeadlineAndCancellationStructured(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	e := buildGrid(t, 4)
 	pub, err := NewPublisher(e, 0)
 	if err != nil {
@@ -498,6 +500,7 @@ func TestQueryDeadlineAndCancellationStructured(t *testing.T) {
 // key, so the per-snapshot miss counter counts evaluated queries; after
 // the disconnect it must go quiet far below the batch size.
 func TestCancelledBatchStopsWalk(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	e := buildGrid(t, 5)
 	pub, ts := newServer(t, e, 0)
 	snap := pub.Current()

@@ -1,0 +1,86 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakyWorker parks until released; its name is what the snapshot
+// diff looks for.
+func leakyWorker(release, done chan struct{}) {
+	<-release
+	close(done)
+}
+
+// TestGoroutineSnapshotDiff drives the checker's core primitive: a
+// goroutine started after the baseline shows up in the diff, and
+// disappears from it once it exits.
+func TestGoroutineSnapshotDiff(t *testing.T) {
+	base := map[string]bool{}
+	for id := range goroutines() {
+		base[id] = true
+	}
+
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go leakyWorker(release, done)
+
+	// The parked goroutine must be visible as new.
+	deadline := time.Now().Add(settle)
+	for {
+		fresh := 0
+		for id, stack := range goroutines() {
+			if !base[id] && strings.Contains(stack, "leakyWorker") {
+				fresh++
+			}
+		}
+		if fresh == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot diff found %d new leakyWorker goroutines, want 1", fresh)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	<-done
+
+	// And gone again once it returns.
+	for {
+		lingering := false
+		for id, stack := range goroutines() {
+			if !base[id] && strings.Contains(stack, "leakyWorker") {
+				lingering = true
+			}
+		}
+		if !lingering {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leakyWorker still visible after exiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestIgnorableFrames: the frames the testing framework and runtime
+// own never count as leaks; everything else does.
+func TestIgnorableFrames(t *testing.T) {
+	if !ignorable("goroutine 7 [chan receive]:\ntesting.tRunner(0x0, 0x0)\n\t/usr/lib/go/src/testing/testing.go:1 +0x1") {
+		t.Error("testing.tRunner frame not ignorable")
+	}
+	if ignorable("goroutine 8 [chan receive]:\nrepro/internal/server.(*Publisher).loop(0x0)\n\tpublisher.go:1 +0x1") {
+		t.Error("application frame wrongly ignorable")
+	}
+}
+
+// TestCheckGoroutinesCleanPath registers the checker on a test that
+// starts and fully drains a goroutine: the cleanup must pass.
+func TestCheckGoroutinesCleanPath(t *testing.T) {
+	CheckGoroutines(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestInScope(t *testing.T) {
+	roots := []string{"repro/internal/simnet", "repro/internal/eval"}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/simnet", true},
+		{"repro/internal/simnet/sub", true},
+		{"repro/internal/eval", true},
+		// Prefixes only count on a path boundary.
+		{"repro/internal/simnetx", false},
+		{"repro/internal/evaluation", false},
+		{"repro/internal/server", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := InScope(c.path, roots...); got != c.want {
+			t.Errorf("InScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+const suppressionSrc = `package p
+
+func a() {
+	_ = 1 //lint:allow walltime same-line justification
+}
+
+func b() {
+	//lint:allow walltime line-above justification
+	_ = 2
+}
+
+func c() {
+	//lint:allow walltime
+	_ = 3
+}
+
+func d() {
+	_ = 4
+}
+`
+
+func TestSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", suppressionSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuppressions(fset, []*ast.File{file})
+
+	tf := fset.File(file.Pos())
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+		why      string
+	}{
+		{4, "walltime", true, "same-line suppression"},
+		{9, "walltime", true, "line-above suppression"},
+		{9, "ctxflow", false, "wrong analyzer name"},
+		{14, "walltime", false, "bare directive without justification"},
+		{18, "walltime", false, "no directive at all"},
+	}
+	for _, c := range cases {
+		if got := s.Allowed(c.analyzer, tf.LineStart(c.line)); got != c.want {
+			t.Errorf("Allowed(%s, line %d) = %v, want %v (%s)", c.analyzer, c.line, got, c.want, c.why)
+		}
+	}
+}

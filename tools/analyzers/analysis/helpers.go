@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// InScope reports whether pkgPath equals, or lives under, one of the
+// root package paths. Every nettrailsvet analyzer polices a specific
+// slice of the tree (the deterministic core, the serving tiers); code
+// outside an analyzer's scope is never flagged, so e.g. wall-clock
+// reads in cmd/ main loops stay legal.
+func InScope(pkgPath string, roots ...string) bool {
+	for _, r := range roots {
+		if pkgPath == r || strings.HasPrefix(pkgPath, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// NonTestFiles filters the pass's files down to production sources.
+// The determinism/immutability contracts bind the engine and serving
+// code; tests may freely measure wall time, spin goroutines, or poke
+// snapshots they own.
+func (p *Pass) NonTestFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// PkgFunc resolves a call or selector to (package path, function name)
+// when the expression is a direct pkgname.Func reference; ok is false
+// for method calls, locals, and anything else.
+func (p *Pass) PkgFunc(e ast.Expr) (pkgPath, name string, ok bool) {
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// NamedOf unwraps pointers and returns the named type behind t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n
+	}
+	// A *Named whose underlying is a pointer was handled above; here t
+	// may itself be a pointer type expression like *Snapshot.
+	if ptr, ok := t.(*types.Pointer); ok {
+		if n, ok := ptr.Elem().(*types.Named); ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// Within reports whether pos falls inside node's source span.
+func Within(pos token.Pos, node ast.Node) bool {
+	return node != nil && pos >= node.Pos() && pos <= node.End()
+}

@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/ctxfixture",
+		"repro/internal/server/ctxfixture", ctxflow.Analyzer)
+}

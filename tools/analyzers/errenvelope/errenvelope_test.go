@@ -1,0 +1,13 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/errenvelope"
+)
+
+func TestErrenvelope(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/envfixture",
+		"repro/internal/server/envfixture", errenvelope.Analyzer)
+}

@@ -1,0 +1,13 @@
+package frozenwrite_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/frozenwrite"
+)
+
+func TestFrozenwrite(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/fwfixture",
+		"repro/internal/server/fwfixture", frozenwrite.Analyzer)
+}

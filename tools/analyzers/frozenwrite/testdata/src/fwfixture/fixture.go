@@ -1,0 +1,62 @@
+// Package fwfixture exercises the frozenwrite analyzer. View opts
+// into the frozen discipline with the nettrails:frozen doc marker —
+// the same mechanism new view types in the real tree use — so the
+// fixture needs nothing from the cross-package registry. The test
+// harness type-checks this package as repro/internal/server/fwfixture
+// so the scope gate admits it.
+package fwfixture
+
+// View is this fixture's published-immutable snapshot type.
+//
+// nettrails:frozen
+type View struct {
+	Tables map[string]int
+	Count  int
+}
+
+// Live carries no marker: writes through it are unconstrained.
+type Live struct {
+	Tables map[string]int
+}
+
+// build is the sanctioned builder pattern: the local is fresh from a
+// composite literal, so every write is pre-publish by construction.
+func build(names []string) *View {
+	v := &View{Tables: map[string]int{}}
+	for i, n := range names {
+		v.Tables[n] = i
+		v.Count++
+	}
+	return v
+}
+
+// mutatePublished writes through a pointer that arrived from outside:
+// every shape of post-freeze mutation is flagged.
+func mutatePublished(v *View) {
+	v.Count = 7           // want `write to v\.Count mutates frozen View`
+	v.Tables["x"] = 1     // want `write to v\.Tables\["x"\] mutates frozen View`
+	v.Count++             // want `write to v\.Count mutates frozen View`
+	delete(v.Tables, "x") // want `write to v\.Tables mutates frozen View`
+}
+
+// valueCopy owns its plain fields — writing Count touches only the
+// local copy — but the map still shares backing storage with the
+// published view.
+func valueCopy(v View) int {
+	v.Count = 1
+	v.Tables["x"] = 1 // want `write to v\.Tables\["x"\] mutates frozen View`
+	return v.Count
+}
+
+// mutateLive is legal: Live is not frozen.
+func mutateLive(l *Live) {
+	l.Tables["x"] = 1
+}
+
+// reset documents why its write is safe; the suppression keeps the
+// finding out of the report.
+func reset(old *View) *View {
+	//lint:allow frozenwrite fixture exercising the suppression syntax on a provably unshared value
+	old.Count = 0
+	return old
+}

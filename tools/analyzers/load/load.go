@@ -1,0 +1,235 @@
+// Package load type-checks packages for the nettrailsvet analyzers
+// using only the standard library. Import resolution reads gc export
+// data: either files named by a `go vet` vet.cfg (PackageFile) or the
+// build-cache files reported by `go list -export` (standalone and test
+// drivers). Only the package under analysis is parsed from source;
+// every dependency comes from export data, which is what keeps a
+// whole-module sweep fast.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path    string
+	Dir     string
+	GoFiles []string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Importer resolves import paths to *types.Package through gc export
+// data files on disk.
+type Importer struct {
+	// Exports maps canonical package path -> export data file.
+	Exports map[string]string
+	// ImportMap maps import path as written in source -> canonical
+	// package path (vet.cfg semantics; may be nil).
+	ImportMap map[string]string
+
+	imp types.Importer
+}
+
+// NewImporter builds an importer over the export file map.
+func NewImporter(fset *token.FileSet, exports, importMap map[string]string) *Importer {
+	im := &Importer{Exports: exports, ImportMap: importMap}
+	im.imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := im.Exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return im
+}
+
+// Import implements types.Importer.
+func (im *Importer) Import(path string) (*types.Package, error) {
+	if canon, ok := im.ImportMap[path]; ok {
+		path = canon
+	}
+	return im.imp.Import(path)
+}
+
+// Check parses the named files and type-checks them as one package
+// with the given canonical import path.
+func Check(path string, fset *token.FileSet, files []string, imp types.Importer) (*Package, error) {
+	pkg := &Package{Path: path, GoFiles: files, Fset: fset}
+	if len(files) > 0 {
+		pkg.Dir = filepath.Dir(files[0])
+	}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, pkg.Syntax, pkg.Info)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// ---- go list loading ---------------------------------------------------
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+}
+
+// goList runs `go list -export -deps -json` in dir over the patterns
+// and returns every package in the dependency closure.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,Standard,GoFiles,DepOnly,Incomplete"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Packages loads, parses, and type-checks every package matching the
+// patterns (resolved relative to dir, a directory inside the module).
+// Dependencies are consumed as export data only.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports, nil)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Incomplete {
+			continue
+		}
+		files := make([]string, 0, len(p.GoFiles))
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := Check(p.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		pkg.Dir = p.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Exports resolves export data files for the given packages (and their
+// dependency closures) without type-checking anything — the raw
+// material for a custom Check call, used by the analyzertest harness
+// to resolve a fixture's imports.
+func Exports(dir string, pkgs ...string) (map[string]string, error) {
+	if len(pkgs) == 0 {
+		return map[string]string{}, nil
+	}
+	listed, err := goList(dir, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// ModuleRoot walks upward from dir to the directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ImportsOf parses just the import clauses of the given files.
+func ImportsOf(fset *token.FileSet, files []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	return out, nil
+}

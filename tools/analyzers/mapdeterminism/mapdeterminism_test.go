@@ -1,0 +1,13 @@
+package mapdeterminism_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/mapdeterminism"
+)
+
+func TestMapdeterminism(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/mdfixture",
+		"repro/internal/eval/mdfixture", mapdeterminism.Analyzer)
+}

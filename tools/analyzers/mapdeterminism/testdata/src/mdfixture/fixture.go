@@ -1,0 +1,98 @@
+// Package mdfixture exercises the mapdeterminism analyzer: map
+// iteration order reaching ordered sinks (appends without a later
+// sort, stream writes, channel sends) is flagged; collect-then-sort,
+// map-to-map copies, and loop-local accumulators are legal. The test
+// harness type-checks this package as repro/internal/eval/mdfixture
+// so the scope gate admits it.
+package mdfixture
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// keysUnsorted leaks iteration order into the returned slice.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map m captures random iteration order`
+	}
+	return out
+}
+
+// keysSorted is the canonical collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// invert builds another map: order-insensitive (JSON encoding sorts
+// map keys).
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// dump emits bytes in iteration order through every stream shape.
+func dump(w io.Writer, m map[string]int) {
+	var buf bytes.Buffer
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map m emits bytes`
+		buf.WriteString(k)              // want `buf\.WriteString inside range over map m emits bytes`
+		_, _ = io.WriteString(w, k)     // want `io\.WriteString inside range over map m emits bytes`
+	}
+}
+
+// publish delivers keys on a channel in iteration order.
+func publish(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `send inside range over map m delivers values in random iteration order`
+	}
+}
+
+// perEntry appends only to a loop-local accumulator: one iteration's
+// data has no cross-key order to leak.
+func perEntry(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		total += len(acc)
+	}
+	return total
+}
+
+// flatten shows a nested slice range inheriting the outer map's order.
+func flatten(m map[string][]string) []string {
+	var out []string
+	for _, vs := range m {
+		for _, v := range vs {
+			out = append(out, v) // want `append to out inside range over map m captures random iteration order`
+		}
+	}
+	return out
+}
+
+// histogram feeds an order-insensitive sum; the suppression documents
+// that and keeps the finding out of the report.
+func histogram(m map[string]int) int {
+	var counts []int
+	for _, v := range m {
+		//lint:allow mapdeterminism counts feed an order-insensitive sum in this fixture
+		counts = append(counts, v)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,89 @@
+// Package walltime flags wall-clock and ambient-randomness reads in
+// the deterministic simulation core. Inside
+// internal/{simnet,engine,eval,rel,provenance} the only clock is the
+// virtual instant (simnet.Time) and the only randomness is a seeded
+// *rand.Rand owned by the scenario: a stray time.Now or global
+// rand.Intn makes two runs of the same trace diverge, which breaks the
+// byte-parity guarantee every provenance digest rests on.
+//
+// Seeded construction (rand.New, rand.NewSource and the v2
+// equivalents) stays legal — determinism comes from owning the seed,
+// not from avoiding the package.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time and ambient randomness in the deterministic simulation core " +
+		"(virtual instants are the only clock; randomness must come from a scenario-seeded *rand.Rand)",
+	Run: run,
+}
+
+// scope is the deterministic core: packages whose behavior must be a
+// pure function of (program, trace, seed).
+var scope = []string{
+	"repro/internal/simnet",
+	"repro/internal/engine",
+	"repro/internal/eval",
+	"repro/internal/rel",
+	"repro/internal/provenance",
+}
+
+// forbiddenTime is every package-level reader of the wall clock or
+// wall-clock-driven scheduler in package time.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true,
+	"NewTicker": true, "Sleep": true,
+}
+
+// allowedRand is the deterministic, explicitly-seeded subset of
+// math/rand and math/rand/v2.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !analysis.InScope(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			pkgPath, name, ok := pass.PkgFunc(sel)
+			if !ok {
+				return true
+			}
+			// Type references (*rand.Rand fields, rand.Source params)
+			// are fine — only calling into the packages is the hazard.
+			if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				if forbiddenTime[name] {
+					pass.Reportf(n.Pos(),
+						"wall-clock time.%s in the deterministic core: virtual instants (simnet.Time) are the only clock here", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[name] {
+					pass.Reportf(n.Pos(),
+						"ambient randomness rand.%s in the deterministic core: draw from a scenario-seeded *rand.Rand instead", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/walltime"
+)
+
+// The fixture is type-checked as a package inside the deterministic
+// core so the scope gate admits it; the same files analyzed under an
+// out-of-scope path must produce nothing.
+func TestWalltime(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/walltimefixture",
+		"repro/internal/simnet/walltimefixture", walltime.Analyzer)
+}
