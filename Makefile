@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench serve-smoke docs-check ci clean
+.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench serve-smoke scenarios scenarios-slow docs-check ci clean
 
 all: fmt-check vet build test
 
@@ -52,12 +52,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# fuzz gives the two hand-written parsers (the provenance query
-# language and NDlog) a short native-fuzzing shake, seeded from the
-# test corpora. Override FUZZTIME for longer local hunts.
+# fuzz gives the hand-written parsers (the provenance query language,
+# NDlog, and the RouteViews table/AS-graph readers) a short
+# native-fuzzing shake, seeded from the test corpora. Override
+# FUZZTIME for longer local hunts. One -fuzz invocation per target:
+# go test rejects a -fuzz pattern matching more than one function.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/provquery
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/ndlog
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRouteViews$$' -fuzztime $(FUZZTIME) ./internal/routeviews
+	$(GO) test -run '^$$' -fuzz '^FuzzParseASGraph$$' -fuzztime $(FUZZTIME) ./internal/routeviews
 
 # bench sweeps the tracked benchmark suites and records the results as
 # JSON so the performance trajectory is archived over time:
@@ -73,6 +77,9 @@ fuzz:
 #   - BENCH_sharded.json: the sharded serving tier (single process vs
 #     a 3-shard deployment behind a colocated or pure gateway, with
 #     real downstream hops/op)
+#   - BENCH_scenarios.json: the adversarial scenario soak (gateway
+#     query latency percentiles, cache hit rate, and publish rate
+#     under engine churn), via cmd/nettrailssoak
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 3x . | tee bench_parallel.out
 	$(GO) run ./tools/benchjson < bench_parallel.out > BENCH_parallel.json
@@ -84,6 +91,7 @@ bench:
 	$(GO) run ./tools/benchjson < bench_api.out > BENCH_api.json
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedQuery' -benchtime 20x . | tee bench_sharded.out
 	$(GO) run ./tools/benchjson < bench_sharded.out > BENCH_sharded.json
+	$(GO) run ./cmd/nettrailssoak -hijack-nodes 48 -clients 8 -queries 2000 -churn 200 -out BENCH_scenarios.json
 	@rm -f bench_parallel.out bench_serve.out bench_querycache.out bench_api.out bench_sharded.out
 
 # serve-smoke boots the nettrailsd daemon on an ephemeral port and
@@ -93,13 +101,26 @@ bench:
 serve-smoke:
 	$(GO) test -count=1 ./cmd/nettrailsd/ ./cmd/nettrailsgw/
 
+# scenarios runs the adversarial scenario acceptance suite at its
+# tier-1 size: every catalog scenario boots both deployment shapes
+# (single daemon and 3-shard gateway), replays its fault, and must
+# answer every oracle check byte-identically on both.
+scenarios:
+	$(GO) test -count=1 ./internal/scenario/
+
+# scenarios-slow adds the RouteViews-scale replay (a 1000-AS generated
+# topology, four engine builds) kept behind a build tag so tier-1
+# stays fast.
+scenarios-slow:
+	$(GO) test -count=1 -tags slow -run 'TestPrefixHijackRouteViewsScale' ./internal/scenario/
+
 # docs-check fails when README.md or docs/ drift from the code: broken
 # relative links, commands naming missing binaries/flags, or make
 # targets that no longer exist (tools/docscheck).
 docs-check:
 	$(GO) run ./tools/docscheck
 
-ci: fmt-check vet staticcheck govulncheck build race fuzz serve-smoke docs-check bench
+ci: fmt-check vet staticcheck govulncheck build race fuzz serve-smoke scenarios docs-check bench
 
 # clean removes scratch files only; BENCH_*.json are committed
 # trajectory artifacts and must survive a clean.

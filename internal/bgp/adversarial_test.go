@@ -1,0 +1,181 @@
+package bgp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// diamond builds a topology with two valley-free paths from AS5 to
+// AS1's prefix:
+//
+//	AS1 (origin, customer of AS2 and AS3)
+//	AS2 -- AS4 peer, AS3 -- AS4 peer (AS2 < AS3 wins tie-breaks)
+//	AS5 customer of AS4
+func diamond(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := NewDeployment([]string{"AS1", "AS2", "AS3", "AS4", "AS5"}, []ASLink{
+		{A: "AS2", B: "AS1", Rel: Customer},
+		{A: "AS3", B: "AS1", Rel: Customer},
+		{A: "AS2", B: "AS4", Rel: Peer},
+		{A: "AS3", B: "AS4", Rel: Peer},
+		{A: "AS4", B: "AS5", Rel: Customer},
+	}, engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFailSessionReconvergesViaBackup(t *testing.T) {
+	d := diamond(t)
+	if err := d.Originate("AS1", "10.0.0.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	// Tie between peer paths via AS2 and AS3 breaks toward AS2.
+	if p, _ := d.Speakers["AS4"].BestPath("10.0.0.0/24"); !reflect.DeepEqual(p, []string{"AS4", "AS2", "AS1"}) {
+		t.Fatalf("AS4 primary path = %v", p)
+	}
+
+	if err := d.FailSession("AS2", "AS4"); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := d.Speakers["AS4"].BestPath("10.0.0.0/24"); !reflect.DeepEqual(p, []string{"AS4", "AS3", "AS1"}) {
+		t.Fatalf("AS4 path after failure = %v, want backup via AS3", p)
+	}
+	// Downstream customer followed the move.
+	if p, _ := d.Speakers["AS5"].BestPath("10.0.0.0/24"); !reflect.DeepEqual(p, []string{"AS5", "AS4", "AS3", "AS1"}) {
+		t.Fatalf("AS5 path after failure = %v", p)
+	}
+
+	// Provenance stayed consistent: incremental state equals a fresh
+	// run on the surviving topology.
+	fresh, err := NewDeployment([]string{"AS1", "AS2", "AS3", "AS4", "AS5"}, []ASLink{
+		{A: "AS2", B: "AS1", Rel: Customer},
+		{A: "AS3", B: "AS1", Rel: Customer},
+		{A: "AS3", B: "AS4", Rel: Peer},
+		{A: "AS4", B: "AS5", Rel: Customer},
+	}, engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Originate("AS1", "10.0.0.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	for _, as := range []string{"AS3", "AS4"} {
+		a, err := d.RouteEntries(as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.RouteEntries(as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("%s routeEntries diverge from fresh run:\nincremental %v\nfresh       %v", as, a, b)
+		}
+	}
+}
+
+func TestFailSessionPartitionsAndRestoreHeals(t *testing.T) {
+	d := diamond(t)
+	if err := d.Originate("AS1", "10.0.0.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	// Cut both peerings: AS4/AS5 are partitioned from the origin.
+	if err := d.FailSession("AS2", "AS4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailSession("AS3", "AS4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Speakers["AS4"].BestPath("10.0.0.0/24"); ok {
+		t.Fatal("AS4 still has a route while partitioned")
+	}
+	if re, _ := d.RouteEntries("AS4"); len(re) != 0 {
+		t.Fatalf("AS4 routeEntry survives the partition: %v", re)
+	}
+
+	// Heal one peering: the route comes back over it.
+	if err := d.RestoreSession("AS3", "AS4"); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := d.Speakers["AS4"].BestPath("10.0.0.0/24"); !reflect.DeepEqual(p, []string{"AS4", "AS3", "AS1"}) {
+		t.Fatalf("AS4 path after heal = %v", p)
+	}
+	if p, _ := d.Speakers["AS5"].BestPath("10.0.0.0/24"); !reflect.DeepEqual(p, []string{"AS5", "AS4", "AS3", "AS1"}) {
+		t.Fatalf("AS5 path after heal = %v", p)
+	}
+}
+
+func TestFailSessionIdempotentAndValidated(t *testing.T) {
+	d := diamond(t)
+	if err := d.Originate("AS1", "10.0.0.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailSession("AS2", "AS4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailSession("AS2", "AS4"); err != nil {
+		t.Fatal(err) // second failure of the same session is a no-op
+	}
+	if err := d.FailSession("AS9", "AS4"); err == nil {
+		t.Fatal("failing a session of an unknown AS succeeded")
+	}
+	if err := d.RestoreSession("AS4", "AS9"); err == nil {
+		t.Fatal("restoring a session of an unknown AS succeeded")
+	}
+	if err := d.SetExportAll("AS9", true); err == nil {
+		t.Fatal("SetExportAll on an unknown AS succeeded")
+	}
+}
+
+// TestRouteLeakAttractsTraffic reproduces the classic leak: a
+// multihomed stub re-exports one provider's routes to the other, and
+// the second provider prefers the leaked customer route over its
+// legitimate peer path.
+func TestRouteLeakAttractsTraffic(t *testing.T) {
+	// AS1 originates under provider AS2; AS2 -- AS3 peer; leaker AS4
+	// is a customer of both AS2 and AS3; vantage AS5 is AS3's customer.
+	links := []ASLink{
+		{A: "AS2", B: "AS1", Rel: Customer},
+		{A: "AS2", B: "AS3", Rel: Peer},
+		{A: "AS2", B: "AS4", Rel: Customer},
+		{A: "AS3", B: "AS4", Rel: Customer},
+		{A: "AS3", B: "AS5", Rel: Customer},
+	}
+	ases := []string{"AS1", "AS2", "AS3", "AS4", "AS5"}
+
+	clean, err := NewDeployment(ases, links, engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Originate("AS1", "10.0.0.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := clean.Speakers["AS3"].BestPath("10.0.0.0/24"); !reflect.DeepEqual(p, []string{"AS3", "AS2", "AS1"}) {
+		t.Fatalf("clean AS3 path = %v, want the peer route", p)
+	}
+
+	leaky, err := NewDeployment(ases, links, engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leaky.SetExportAll("AS4", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaky.Originate("AS1", "10.0.0.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	// AS3 now prefers the customer-learned leak, the valley path
+	// through AS4.
+	if p, _ := leaky.Speakers["AS3"].BestPath("10.0.0.0/24"); !reflect.DeepEqual(p, []string{"AS3", "AS4", "AS2", "AS1"}) {
+		t.Fatalf("leaky AS3 path = %v, want the leaked route via AS4", p)
+	}
+	// The vantage downstream inherits the polluted path.
+	if p, _ := leaky.Speakers["AS5"].BestPath("10.0.0.0/24"); !reflect.DeepEqual(p, []string{"AS5", "AS3", "AS4", "AS2", "AS1"}) {
+		t.Fatalf("leaky AS5 path = %v", p)
+	}
+}

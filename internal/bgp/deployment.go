@@ -204,6 +204,63 @@ func (d *Deployment) Withdraw(as, prefix string) error {
 	return nil
 }
 
+// speakerPair resolves both endpoints of a session.
+func (d *Deployment) speakerPair(a, b string) (*Speaker, *Speaker, error) {
+	sa, ok := d.Speakers[a]
+	if !ok {
+		return nil, nil, fmt.Errorf("bgp: unknown AS %s", a)
+	}
+	sb, ok := d.Speakers[b]
+	if !ok {
+		return nil, nil, fmt.Errorf("bgp: unknown AS %s", b)
+	}
+	return sa, sb, nil
+}
+
+// FailSession fails the BGP session between two adjacent ASes: both
+// ends implicitly withdraw everything learned over it, withdrawals
+// cascade, and the system runs to quiescence on the surviving
+// sessions. This is the partition primitive of the adversarial
+// scenarios.
+func (d *Deployment) FailSession(a, b string) error {
+	sa, sb, err := d.speakerPair(a, b)
+	if err != nil {
+		return err
+	}
+	// Mark both ends down before either withdraws, so the cascades
+	// cannot leak updates across the dead session.
+	sa.SetSessionDown(b)
+	sb.SetSessionDown(a)
+	d.Eng.RunQuiescent()
+	return nil
+}
+
+// RestoreSession re-establishes a failed session: both ends reopen,
+// exchange full tables, and the system reconverges.
+func (d *Deployment) RestoreSession(a, b string) error {
+	sa, sb, err := d.speakerPair(a, b)
+	if err != nil {
+		return err
+	}
+	sa.SetSessionUp(b)
+	sb.SetSessionUp(a)
+	sa.Resync(b)
+	sb.Resync(a)
+	d.Eng.RunQuiescent()
+	return nil
+}
+
+// SetExportAll toggles an AS's route-leak fault (see
+// Speaker.ExportAll). Set it before the leaked routes are learned.
+func (d *Deployment) SetExportAll(as string, on bool) error {
+	sp, ok := d.Speakers[as]
+	if !ok {
+		return fmt.Errorf("bgp: unknown AS %s", as)
+	}
+	sp.ExportAll = on
+	return nil
+}
+
 // RouteEntries returns the derived routeEntry tuples at an AS.
 func (d *Deployment) RouteEntries(as string) ([]rel.Tuple, error) {
 	n, ok := d.Eng.Node(as)

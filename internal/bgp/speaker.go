@@ -86,6 +86,18 @@ type Speaker struct {
 	best map[string]*route
 	// originated prefixes.
 	origin map[string]bool
+	// down marks neighbors whose BGP session is currently failed: no
+	// updates flow either way until SetSessionUp.
+	down map[string]bool
+
+	// ExportAll disables the Gao-Rexford export filter: every best
+	// route is advertised to every neighbor, provider-learned routes
+	// included. This is the classic route-leak misconfiguration (a
+	// customer re-exporting its providers' routes), kept here as an
+	// injectable fault for adversarial scenarios. Set it before the
+	// leaked routes are learned; flipping it mid-run does not
+	// re-advertise already-selected routes.
+	ExportAll bool
 
 	// Taps for the NetTrails proxy: called on every received update
 	// (before processing) and every sent update (after send).
@@ -107,6 +119,7 @@ func NewSpeaker(as string, net *simnet.Network) *Speaker {
 		adjIn:     map[string]map[string]route{},
 		best:      map[string]*route{},
 		origin:    map[string]bool{},
+		down:      map[string]bool{},
 	}
 }
 
@@ -175,6 +188,63 @@ func (s *Speaker) ResetSession(neighbor string) {
 	}
 }
 
+// SetSessionDown fails the BGP session toward a neighbor: everything
+// learned from it is treated as implicitly withdrawn (per RFC 4271
+// session-loss semantics, flowing through the OnReceive tap so
+// observers see the retractions), and no updates are sent to or
+// accepted from the neighbor until SetSessionUp. Idempotent.
+func (s *Speaker) SetSessionDown(neighbor string) {
+	if _, known := s.neighbors[neighbor]; !known || s.down[neighbor] {
+		return
+	}
+	s.down[neighbor] = true
+	var prefixes []string
+	for prefix, in := range s.adjIn {
+		if _, ok := in[neighbor]; ok {
+			prefixes = append(prefixes, prefix)
+		}
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		u := Update{From: neighbor, To: s.AS, Prefix: prefix, Withdraw: true}
+		if s.OnReceive != nil {
+			s.OnReceive(u)
+		}
+		s.processUpdate(u)
+	}
+}
+
+// SetSessionUp restores a failed session. It only reopens this side;
+// re-advertising the local table (the session re-establishment
+// exchange) is a separate Resync call so both ends of a link can be
+// reopened before either floods.
+func (s *Speaker) SetSessionUp(neighbor string) {
+	delete(s.down, neighbor)
+}
+
+// Resync advertises the full loc-RIB to a neighbor, as the initial
+// exchange after a BGP session (re-)establishes.
+func (s *Speaker) Resync(neighbor string) {
+	rel, known := s.neighbors[neighbor]
+	if !known || s.down[neighbor] {
+		return
+	}
+	var prefixes []string
+	for p, r := range s.best {
+		if r != nil {
+			prefixes = append(prefixes, p)
+		}
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		r := s.best[p]
+		if r.from == neighbor || !s.exportable(r, neighbor, rel) {
+			continue
+		}
+		s.send(Update{From: s.AS, To: neighbor, Prefix: p, ASPath: append([]string(nil), r.path...)})
+	}
+}
+
 // Prefixes returns the prefixes with a selected route, sorted.
 func (s *Speaker) Prefixes() []string {
 	var out []string
@@ -210,6 +280,9 @@ func (s *Speaker) processUpdate(u Update) {
 	rel, known := s.neighbors[u.From]
 	if !known {
 		return // updates from unknown neighbors are ignored
+	}
+	if s.down[u.From] && !u.Withdraw {
+		return // announcements over a failed session are ignored
 	}
 	in := s.adjIn[u.Prefix]
 	if in == nil {
@@ -289,6 +362,9 @@ func routesEqual(a, b *route) bool {
 // neighbor only if it was locally originated, learned from a customer,
 // or the neighbor is a customer.
 func (s *Speaker) exportable(r *route, to string, toRel Relationship) bool {
+	if s.ExportAll {
+		return true // route leak: the export filter is disabled
+	}
 	if r.from == "" {
 		return true // our own prefix
 	}
@@ -313,6 +389,9 @@ func (s *Speaker) advertise(prefix string, old, best *route) {
 }
 
 func (s *Speaker) send(u Update) {
+	if s.down[u.To] {
+		return // session failed: nothing reaches the neighbor
+	}
 	s.UpdatesSent++
 	if s.OnSend != nil {
 		s.OnSend(u)

@@ -1,0 +1,367 @@
+package routeviews
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// LinkKind classifies one inter-AS adjacency in the CAIDA
+// AS-relationship convention: -1 means the first AS provides transit
+// to the second (provider-to-customer), 0 means settlement-free peers.
+type LinkKind int
+
+// AS relationship kinds (CAIDA serialization values).
+const (
+	ProviderToCustomer LinkKind = -1
+	PeerToPeer         LinkKind = 0
+)
+
+// ASEdge is one edge of an AS-level topology. For ProviderToCustomer
+// edges A is the provider and B the customer; for PeerToPeer the order
+// carries no meaning.
+type ASEdge struct {
+	A, B string
+	Kind LinkKind
+}
+
+// ASGraph is an AS-level topology: the sorted AS list plus its
+// classified adjacencies, in the shape RouteViews-derived topologies
+// (CAIDA serial-1 AS-relationship files) come in.
+type ASGraph struct {
+	ASes  []string
+	Edges []ASEdge
+}
+
+// ASGraphOptions tunes the synthetic AS-graph generator.
+type ASGraphOptions struct {
+	// Nodes is the total AS count (>= 4).
+	Nodes int
+	// Tier1 is the size of the fully-meshed transit-free core
+	// (values < 2 mean a default of min(4, Nodes)).
+	Tier1 int
+	// TransitFrac is the fraction of non-core ASes that are mid-tier
+	// transit providers rather than stubs (default 0.15).
+	TransitFrac float64
+	// MaxProviders bounds how many upstreams a non-core AS buys
+	// transit from; the actual count is 1 + geometric-ish noise
+	// (default 2). Larger values densify the graph.
+	MaxProviders int
+	// PeerP is the probability that a mid-tier AS peers with another
+	// randomly chosen mid-tier AS (default 0.2).
+	PeerP float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (o ASGraphOptions) withDefaults() ASGraphOptions {
+	if o.Tier1 < 2 {
+		o.Tier1 = 4
+	}
+	if o.Tier1 > o.Nodes {
+		o.Tier1 = o.Nodes
+	}
+	if o.TransitFrac <= 0 {
+		o.TransitFrac = 0.15
+	}
+	if o.MaxProviders < 1 {
+		o.MaxProviders = 2
+	}
+	if o.PeerP < 0 {
+		o.PeerP = 0
+	}
+	return o
+}
+
+// ASName returns the canonical zero-padded AS name used by the
+// generator: padding keeps the engine's lexicographic node order equal
+// to numeric order at any scale.
+func ASName(i, total int) string {
+	width := 1
+	for p := 10; p <= total; p *= 10 {
+		width++
+	}
+	return fmt.Sprintf("AS%0*d", width, i)
+}
+
+// GenerateASGraph produces a synthetic internet-like AS topology:
+// a fully-meshed tier-1 core of peers, a layer of mid-tier transit
+// providers, and a majority of stub ASes, with providers drawn by
+// preferential attachment so customer-cone sizes follow the heavy
+// tail seen in real RouteViews/CAIDA graphs. The result is connected
+// (every AS has an all-customer path from the core) and deterministic
+// for a given options value.
+func GenerateASGraph(opts ASGraphOptions) (*ASGraph, error) {
+	o := opts.withDefaults()
+	if o.Nodes < 4 {
+		return nil, fmt.Errorf("routeviews: AS graph needs >= 4 nodes, got %d", o.Nodes)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	g := &ASGraph{ASes: make([]string, o.Nodes)}
+	for i := range g.ASes {
+		g.ASes[i] = ASName(i+1, o.Nodes)
+	}
+
+	// Tier-1 core: full peer mesh.
+	for i := 0; i < o.Tier1; i++ {
+		for j := i + 1; j < o.Tier1; j++ {
+			g.Edges = append(g.Edges, ASEdge{A: g.ASes[i], B: g.ASes[j], Kind: PeerToPeer})
+		}
+	}
+
+	nTransit := int(float64(o.Nodes-o.Tier1) * o.TransitFrac)
+	transitEnd := o.Tier1 + nTransit // ASes [Tier1, transitEnd) are mid-tier
+
+	// weight[i] tracks 1 + customer count for preferential attachment.
+	weight := make([]int, o.Nodes)
+	for i := range weight {
+		weight[i] = 1
+	}
+	// pickProvider draws an AS index from [0, limit) weighted by
+	// customer cone, skipping self.
+	pickProvider := func(limit, self int) int {
+		total := 0
+		for i := 0; i < limit; i++ {
+			if i == self {
+				continue
+			}
+			total += weight[i]
+		}
+		r := rng.Intn(total)
+		for i := 0; i < limit; i++ {
+			if i == self {
+				continue
+			}
+			r -= weight[i]
+			if r < 0 {
+				return i
+			}
+		}
+		panic("unreachable")
+	}
+
+	seen := map[[2]string]bool{}
+	link := func(a, b int, kind LinkKind) bool {
+		ka, kb := g.ASes[a], g.ASes[b]
+		if ka > kb {
+			ka, kb = kb, ka
+		}
+		key := [2]string{ka, kb}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		g.Edges = append(g.Edges, ASEdge{A: g.ASes[a], B: g.ASes[b], Kind: kind})
+		return true
+	}
+
+	for i := o.Tier1; i < o.Nodes; i++ {
+		// Mid-tier ASes attach under the core or other mid-tiers that
+		// came before them; stubs attach under anything non-stub.
+		limit := transitEnd
+		if i < transitEnd {
+			limit = i
+			if limit < o.Tier1 {
+				limit = o.Tier1
+			}
+		}
+		if limit > i {
+			limit = i
+		}
+		nProv := 1
+		for nProv < o.MaxProviders && rng.Float64() < 0.35 {
+			nProv++
+		}
+		for p := 0; p < nProv; p++ {
+			prov := pickProvider(limit, i)
+			if link(prov, i, ProviderToCustomer) {
+				weight[prov]++
+			}
+		}
+		// Occasional lateral peering between mid-tier ASes.
+		if i >= o.Tier1 && i < transitEnd && i > o.Tier1 && rng.Float64() < o.PeerP {
+			peer := o.Tier1 + rng.Intn(i-o.Tier1)
+			if peer != i {
+				link(peer, i, PeerToPeer)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Providers returns the providers of one AS, sorted.
+func (g *ASGraph) Providers(as string) []string {
+	var out []string
+	for _, e := range g.Edges {
+		if e.Kind == ProviderToCustomer && e.B == as {
+			out = append(out, e.A)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Customers returns the customers of one AS, sorted.
+func (g *ASGraph) Customers(as string) []string {
+	var out []string
+	for _, e := range g.Edges {
+		if e.Kind == ProviderToCustomer && e.A == as {
+			out = append(out, e.B)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteASGraph serializes the graph in the CAIDA serial-1 relationship
+// format (`a|b|-1` provider-to-customer, `a|b|0` peer-to-peer), one
+// edge per line, preceded by a comment naming every AS so isolated
+// nodes survive a round trip.
+func WriteASGraph(w io.Writer, g *ASGraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# ases %s\n", strings.Join(g.ASes, " ")); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%s|%s|%d\n", e.A, e.B, e.Kind); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseASGraph reads the CAIDA-style relationship format produced by
+// WriteASGraph (and by externally derived RouteViews/CAIDA fixtures):
+// `a|b|-1` or `a|b|0` records, '#' comments (a `# ases ...` comment
+// declares the node list explicitly; otherwise it is inferred from the
+// edges), blank lines skipped.
+func ParseASGraph(r io.Reader) (*ASGraph, error) {
+	g := &ASGraph{}
+	declared := false
+	names := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if fields := strings.Fields(strings.TrimPrefix(line, "#")); len(fields) > 1 && fields[0] == "ases" {
+				declared = true
+				for _, as := range fields[1:] {
+					if !names[as] {
+						names[as] = true
+						g.ASes = append(g.ASes, as)
+					}
+				}
+			}
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("routeviews: as-graph line %d: want a|b|rel, got %q", lineNo, line)
+		}
+		a, b := parts[0], parts[1]
+		if a == "" || b == "" {
+			return nil, fmt.Errorf("routeviews: as-graph line %d: empty AS name", lineNo)
+		}
+		// Names are whitespace-separated in the `# ases` header, so a
+		// name containing whitespace could never round-trip.
+		if strings.ContainsFunc(a+b, unicode.IsSpace) {
+			return nil, fmt.Errorf("routeviews: as-graph line %d: AS name contains whitespace", lineNo)
+		}
+		if a == b {
+			return nil, fmt.Errorf("routeviews: as-graph line %d: self-loop %s", lineNo, a)
+		}
+		var kind LinkKind
+		switch parts[2] {
+		case "-1":
+			kind = ProviderToCustomer
+		case "0":
+			kind = PeerToPeer
+		default:
+			return nil, fmt.Errorf("routeviews: as-graph line %d: bad relationship %q", lineNo, parts[2])
+		}
+		if declared && (!names[a] || !names[b]) {
+			return nil, fmt.Errorf("routeviews: as-graph line %d: edge references undeclared AS", lineNo)
+		}
+		if !declared {
+			for _, as := range []string{a, b} {
+				if !names[as] {
+					names[as] = true
+					g.ASes = append(g.ASes, as)
+				}
+			}
+		}
+		g.Edges = append(g.Edges, ASEdge{A: a, B: b, Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !declared {
+		sort.Strings(g.ASes)
+	}
+	if len(g.ASes) == 0 {
+		return nil, fmt.Errorf("routeviews: as-graph is empty")
+	}
+	return g, nil
+}
+
+// ValidateASGraph checks structural invariants: no duplicate edges, no
+// self-loops, and (when connected is set) every AS reachable from
+// every other over the undirected adjacency.
+func ValidateASGraph(g *ASGraph, connected bool) error {
+	names := map[string]bool{}
+	for _, as := range g.ASes {
+		if names[as] {
+			return fmt.Errorf("routeviews: duplicate AS %s", as)
+		}
+		names[as] = true
+	}
+	adj := map[string][]string{}
+	seen := map[[2]string]bool{}
+	for _, e := range g.Edges {
+		if !names[e.A] || !names[e.B] {
+			return fmt.Errorf("routeviews: edge %s|%s references unknown AS", e.A, e.B)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("routeviews: self-loop at %s", e.A)
+		}
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]string{a, b}
+		if seen[k] {
+			return fmt.Errorf("routeviews: duplicate edge %s|%s", e.A, e.B)
+		}
+		seen[k] = true
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	if connected && len(g.ASes) > 0 {
+		visited := map[string]bool{g.ASes[0]: true}
+		frontier := []string{g.ASes[0]}
+		for len(frontier) > 0 {
+			n := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, m := range adj[n] {
+				if !visited[m] {
+					visited[m] = true
+					frontier = append(frontier, m)
+				}
+			}
+		}
+		if len(visited) != len(g.ASes) {
+			return fmt.Errorf("routeviews: graph not connected (%d of %d reachable)", len(visited), len(g.ASes))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,457 @@
+package scenario
+
+import (
+	"fmt"
+
+	nettrails "repro"
+	"repro/internal/rel"
+	"repro/internal/routeviews"
+	"repro/internal/server"
+)
+
+// Catalog returns the standard adversarial scenarios at tier-1 test
+// sizes. Larger variants (RouteViews scale) are built directly with
+// the parameterized constructors.
+func Catalog() []Scenario {
+	return []Scenario{
+		PrefixHijack(24, 1),
+		RouteLeak(),
+		LinkFlapStorm(),
+		ConvergencePartition(),
+		DSRMobility(),
+	}
+}
+
+// bgpInfo is the server configuration every BGP scenario serves under.
+func bgpInfo() server.Info { return server.Info{Protocol: "bgp"} }
+
+// bgpChurnFact builds the k-th soak churn fact for a BGP scenario: a
+// base routeEntry for a reserved benchmark prefix (RFC 2544 space) at
+// the given AS. Distinct from every tuple the oracles query, so churn
+// never perturbs check answers.
+func bgpChurnFact(as string) func(k int) rel.Tuple {
+	return func(k int) rel.Tuple {
+		return rel.NewTuple("routeEntry", rel.Addr(as), rel.Str(fmt.Sprintf("198.18.%d.0/24", k%256)))
+	}
+}
+
+// PrefixHijack is the paper's headline forensic case at a synthetic
+// RouteViews-like scale: over a generated AS graph of n nodes, a stub
+// AS originates a prefix it does not own while the legitimate origin's
+// announcement is live. The attacker's provider prefers the
+// customer-learned forgery (Gao-Rexford localPref), so its routing
+// entry silently flips — and the oracle demands that provenance
+// queries on that entry surface the attacker as the root cause and
+// show the legitimate origin displaced.
+func PrefixHijack(n int, seed int64) Scenario {
+	const prefix = "203.0.113.0/24"
+	return Scenario{
+		Name: fmt.Sprintf("prefix-hijack-%d", n),
+		Description: fmt.Sprintf(
+			"forged origin announcement over a generated %d-AS topology; lineage at the attacker's provider must name the attacker", n),
+		Info: bgpInfo(),
+		NewInstance: func() (*Instance, error) {
+			g, err := routeviews.GenerateASGraph(routeviews.ASGraphOptions{Nodes: n, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			d, err := nettrails.NewBGPDeployment(g.ASes, Links(g), nettrails.Config{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			// The last two generated ASes are stubs: victim and
+			// attacker. The vantage is the attacker's first provider —
+			// the AS whose routing entry the hijack flips (a customer
+			// route beats the legitimate route it held before).
+			victim := g.ASes[len(g.ASes)-1]
+			attacker := g.ASes[len(g.ASes)-2]
+			provs := g.Providers(attacker)
+			if len(provs) == 0 {
+				return nil, fmt.Errorf("scenario: attacker %s has no provider", attacker)
+			}
+			vantage := provs[0]
+			entry := fmt.Sprintf("routeEntry(@'%s',%q)", vantage, prefix)
+			return &Instance{
+				Eng:       d.Eng,
+				ChurnFact: bgpChurnFact(g.ASes[0]),
+				Replay: func(mark func(string)) error {
+					if err := d.Originate(victim, prefix); err != nil {
+						return err
+					}
+					mark("pre-hijack")
+					return d.Originate(attacker, prefix)
+				},
+				Checks: func() []Check {
+					return []Check{
+						{
+							Name:   "victim-serves-before-hijack",
+							Query:  "nodes of " + entry,
+							AtMark: "pre-hijack",
+							Oracle: &Oracle{CauseNode: victim, AbsentNode: attacker},
+						},
+						{
+							Name:   "hijacker-displaces-victim",
+							Query:  "nodes of " + entry,
+							Oracle: &Oracle{CauseNode: attacker, AbsentNode: victim},
+						},
+						{
+							Name:   "forged-announcement-is-the-base",
+							Query:  "bases of " + entry,
+							Oracle: &Oracle{CauseNode: attacker, AllBasesRel: "outputRoute"},
+						},
+						{
+							Name:   "lineage-reaches-attacker-within-bound",
+							Query:  "lineage of " + entry,
+							Oracle: &Oracle{CauseNode: attacker, WithinDepth: 6},
+						},
+						{
+							Name:   "entry-still-derivable",
+							Query:  "count of " + entry,
+							Oracle: &Oracle{MinCount: 1},
+						},
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// RouteLeak reproduces the classic misconfiguration: a multihomed stub
+// re-exports one provider's routes to the other ("ExportAll", the
+// disabled Gao-Rexford export filter), and the second provider prefers
+// the leaked customer route over its legitimate peer path. The oracle
+// demands the leaker appear in the polluted entry's provenance.
+func RouteLeak() Scenario {
+	const prefix = "198.51.100.0/24"
+	// AS1 -- AS2 tier-1 peers; origin AS3 under AS1; leaker AS4 under
+	// both; AS5 under AS2 (gives AS2 a customer to advertise to, so
+	// its routeEntry exists).
+	ases := []string{"AS1", "AS2", "AS3", "AS4", "AS5"}
+	links := []nettrails.ASLink{
+		{A: "AS1", B: "AS2", Rel: nettrails.PeerOf},
+		{A: "AS1", B: "AS3", Rel: nettrails.CustomerOf},
+		{A: "AS1", B: "AS4", Rel: nettrails.CustomerOf},
+		{A: "AS2", B: "AS4", Rel: nettrails.CustomerOf},
+		{A: "AS2", B: "AS5", Rel: nettrails.CustomerOf},
+	}
+	entry := fmt.Sprintf("routeEntry(@'AS2',%q)", prefix)
+	return Scenario{
+		Name:        "route-leak",
+		Description: "multihomed stub AS4 re-exports provider routes; AS2's entry must trace through the leaker",
+		Info:        bgpInfo(),
+		NewInstance: func() (*Instance, error) {
+			d, err := nettrails.NewBGPDeployment(ases, links, nettrails.Config{Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{
+				Eng:       d.Eng,
+				ChurnFact: bgpChurnFact("AS1"),
+				Replay: func(mark func(string)) error {
+					if err := d.Originate("AS3", prefix); err != nil {
+						return err
+					}
+					mark("clean")
+					// The leak flag applies to routes learned after it
+					// is set; flapping the origin replays the
+					// announcement into the now-leaky topology.
+					if err := d.SetExportAll("AS4", true); err != nil {
+						return err
+					}
+					if err := d.Withdraw("AS3", prefix); err != nil {
+						return err
+					}
+					return d.Originate("AS3", prefix)
+				},
+				Checks: func() []Check {
+					return []Check{
+						{
+							Name:   "clean-path-avoids-leaker",
+							Query:  "nodes of " + entry,
+							AtMark: "clean",
+							Oracle: &Oracle{CauseNode: "AS1", AbsentNode: "AS4"},
+						},
+						{
+							Name:   "leaker-pollutes-entry",
+							Query:  "nodes of " + entry,
+							Oracle: &Oracle{CauseNode: "AS4"},
+						},
+						{
+							Name:   "lineage-crosses-leaker",
+							Query:  "lineage of " + entry,
+							Oracle: &Oracle{CauseNode: "AS4", WithinDepth: 4},
+						},
+						{
+							Name:   "true-origin-remains-the-base",
+							Query:  "bases of " + entry,
+							Oracle: &Oracle{CauseNode: "AS3", AllBasesRel: "outputRoute"},
+						},
+						{
+							Name:   "entry-still-derivable",
+							Query:  "count of " + entry,
+							Oracle: &Oracle{MinCount: 1},
+						},
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// LinkFlapStorm withdraws and re-announces a prefix through a
+// provider chain repeatedly, stressing the publisher's version ring
+// and incremental provenance deletion. Marks pin queries into the
+// middle of the storm — including a withdrawn instant where the entry
+// must answer with a structured no_provenance error on BOTH arms.
+func LinkFlapStorm() Scenario {
+	const prefix = "192.0.2.0/24"
+	const flaps = 8
+	// Provider chain AS1 > AS2 > AS3 > AS4 > AS5; origin AS5.
+	// Vantage AS3 advertises upward, so its routeEntry exists.
+	ases := []string{"AS1", "AS2", "AS3", "AS4", "AS5"}
+	links := []nettrails.ASLink{
+		{A: "AS1", B: "AS2", Rel: nettrails.CustomerOf},
+		{A: "AS2", B: "AS3", Rel: nettrails.CustomerOf},
+		{A: "AS3", B: "AS4", Rel: nettrails.CustomerOf},
+		{A: "AS4", B: "AS5", Rel: nettrails.CustomerOf},
+	}
+	entry := fmt.Sprintf("routeEntry(@'AS3',%q)", prefix)
+	return Scenario{
+		Name:        "link-flap-storm",
+		Description: fmt.Sprintf("%d withdraw/re-announce cycles through a provider chain; marks pin mid-storm snapshots", flaps),
+		Info:        bgpInfo(),
+		NewInstance: func() (*Instance, error) {
+			d, err := nettrails.NewBGPDeployment(ases, links, nettrails.Config{Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{
+				Eng:       d.Eng,
+				ChurnFact: bgpChurnFact("AS1"),
+				Replay: func(mark func(string)) error {
+					if err := d.Originate("AS5", prefix); err != nil {
+						return err
+					}
+					mark("announced")
+					for i := 0; i < flaps; i++ {
+						if err := d.Withdraw("AS5", prefix); err != nil {
+							return err
+						}
+						if i == flaps/2 {
+							mark("withdrawn")
+						}
+						if err := d.Originate("AS5", prefix); err != nil {
+							return err
+						}
+						mark(fmt.Sprintf("flap-%d", i+1))
+					}
+					return nil
+				},
+				Checks: func() []Check {
+					return []Check{
+						{
+							Name:   "origin-rooted-before-storm",
+							Query:  "nodes of " + entry,
+							AtMark: "announced",
+							Oracle: &Oracle{CauseNode: "AS5"},
+						},
+						{
+							Name:        "withdrawn-instant-has-no-provenance",
+							Query:       "lineage of " + entry,
+							AtMark:      "withdrawn",
+							WantStatus:  404,
+							WantErrCode: "no_provenance",
+						},
+						{
+							Name:   "mid-storm-snapshot-pins",
+							Query:  "nodes of " + entry,
+							AtMark: fmt.Sprintf("flap-%d", flaps/2),
+							Oracle: &Oracle{CauseNode: "AS5"},
+						},
+						{
+							Name:   "storm-settles-on-origin",
+							Query:  "bases of " + entry,
+							Oracle: &Oracle{CauseNode: "AS5", AllBasesRel: "outputRoute"},
+						},
+						{
+							Name:   "entry-still-derivable",
+							Query:  "count of " + entry,
+							Oracle: &Oracle{MinCount: 1},
+						},
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// ConvergencePartition fails BGP sessions at a tier-1 triangle: the
+// vantage loses its primary peer path, reconverges onto the backup,
+// then is fully partitioned (no_provenance on both arms), and finally
+// heals via a session restore with full-table resync. Provenance at
+// each mark must name the path actually serving the route then.
+func ConvergencePartition() Scenario {
+	const prefix = "203.0.113.128/25"
+	// Tier-1 triangle AS1/AS2/AS3; origin AS4 multihomed under AS1
+	// and AS2; vantage AS3 with customer AS5.
+	ases := []string{"AS1", "AS2", "AS3", "AS4", "AS5"}
+	links := []nettrails.ASLink{
+		{A: "AS1", B: "AS2", Rel: nettrails.PeerOf},
+		{A: "AS1", B: "AS3", Rel: nettrails.PeerOf},
+		{A: "AS2", B: "AS3", Rel: nettrails.PeerOf},
+		{A: "AS1", B: "AS4", Rel: nettrails.CustomerOf},
+		{A: "AS2", B: "AS4", Rel: nettrails.CustomerOf},
+		{A: "AS3", B: "AS5", Rel: nettrails.CustomerOf},
+	}
+	entry := fmt.Sprintf("routeEntry(@'AS3',%q)", prefix)
+	return Scenario{
+		Name:        "convergence-partition",
+		Description: "session failures partition the vantage tier-1, then a restore heals it; provenance tracks the serving path",
+		Info:        bgpInfo(),
+		NewInstance: func() (*Instance, error) {
+			d, err := nettrails.NewBGPDeployment(ases, links, nettrails.Config{Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{
+				Eng:       d.Eng,
+				ChurnFact: bgpChurnFact("AS1"),
+				Replay: func(mark func(string)) error {
+					if err := d.Originate("AS4", prefix); err != nil {
+						return err
+					}
+					mark("converged") // AS3 serves via AS1 (name tie-break)
+					if err := d.FailSession("AS3", "AS1"); err != nil {
+						return err
+					}
+					mark("failed-over") // backup via AS2
+					if err := d.FailSession("AS3", "AS2"); err != nil {
+						return err
+					}
+					mark("partitioned") // AS3 unreachable from the origin
+					return d.RestoreSession("AS3", "AS1")
+				},
+				Checks: func() []Check {
+					return []Check{
+						{
+							Name:   "primary-path-via-AS1",
+							Query:  "nodes of " + entry,
+							AtMark: "converged",
+							Oracle: &Oracle{CauseNode: "AS1", AbsentNode: "AS2"},
+						},
+						{
+							Name:   "failover-moves-to-AS2",
+							Query:  "nodes of " + entry,
+							AtMark: "failed-over",
+							Oracle: &Oracle{CauseNode: "AS2", AbsentNode: "AS1"},
+						},
+						{
+							Name:        "partition-leaves-no-provenance",
+							Query:       "lineage of " + entry,
+							AtMark:      "partitioned",
+							WantStatus:  404,
+							WantErrCode: "no_provenance",
+						},
+						{
+							Name:   "heal-returns-to-AS1",
+							Query:  "nodes of " + entry,
+							Oracle: &Oracle{CauseNode: "AS1", AbsentNode: "AS2"},
+						},
+						{
+							Name:   "healed-lineage-roots-at-origin",
+							Query:  "lineage of " + entry,
+							Oracle: &Oracle{CauseNode: "AS4", WithinDepth: 6},
+						},
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// DSRMobility drives the paper's mobile-network use case: DSR source
+// routing where a node moves out of radio range (its direct link
+// disappears) and re-appears elsewhere. Routes are queried by exact
+// source-route value, so the oracle distinguishes the vanished direct
+// route (structured no_provenance) from the multi-hop replacements,
+// whose provenance must bottom out in link base tuples only.
+func DSRMobility() Scenario {
+	n := nettrails.NodeNames(6) // n1..n6
+	chainRoute := "route(@'n1','n6',['n1','n2','n3','n4','n5','n6'])"
+	directRoute := "route(@'n1','n6',['n1','n6'])"
+	movedRoute := "route(@'n1','n6',['n1','n2','n3','n4','n6'])"
+	return Scenario{
+		Name:        "dsr-mobility",
+		Description: "mobile node n6 leaves n1's radio range and reattaches near n4; route provenance follows the moves",
+		Info:        server.Info{Protocol: "dsr"},
+		NewInstance: func() (*Instance, error) {
+			sys, err := nettrails.NewSystem(nettrails.DSR, n, nettrails.Config{Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{
+				Eng: sys.Engine,
+				// Soak churn flaps a radio link the replay never
+				// creates (n2–n5): inserting it derives extra routes,
+				// deleting retracts them, and none of the queried
+				// source routes contain the pair, so check answers
+				// are untouched.
+				ChurnFact: func(k int) rel.Tuple {
+					return rel.NewTuple("link", rel.Addr("n2"), rel.Addr("n5"), rel.Int(1))
+				},
+				Replay: func(mark func(string)) error {
+					// Radio chain n1-n2-...-n6 plus the direct link
+					// n1-n6 (n6 initially in n1's range).
+					for i := 0; i < len(n)-1; i++ {
+						if err := sys.AddLink(n[i], n[i+1], 1); err != nil {
+							return err
+						}
+					}
+					if err := sys.AddLink("n1", "n6", 1); err != nil {
+						return err
+					}
+					mark("direct")
+					// n6 moves away from n1...
+					if err := sys.RemoveLink("n1", "n6", 1); err != nil {
+						return err
+					}
+					mark("moved")
+					// ...and reattaches in n4's range.
+					return sys.AddLink("n4", "n6", 1)
+				},
+				Checks: func() []Check {
+					return []Check{
+						{
+							Name:   "direct-route-exists-in-range",
+							Query:  "bases of " + directRoute,
+							AtMark: "direct",
+							Oracle: &Oracle{CauseNode: "n1", AllBasesRel: "link"},
+						},
+						{
+							Name:        "direct-route-vanishes-after-move",
+							Query:       "lineage of " + directRoute,
+							AtMark:      "moved",
+							WantStatus:  404,
+							WantErrCode: "no_provenance",
+						},
+						{
+							Name:   "chain-route-survives",
+							Query:  "bases of " + chainRoute,
+							Oracle: &Oracle{CauseNode: "n5", AllBasesRel: "link"},
+						},
+						{
+							Name:   "reattached-route-appears",
+							Query:  "lineage of " + movedRoute,
+							Oracle: &Oracle{CauseNode: "n4", WithinDepth: 5},
+						},
+						{
+							Name:   "chain-route-derivable",
+							Query:  "count of " + chainRoute,
+							Oracle: &Oracle{MinCount: 1},
+						},
+					}
+				},
+			}, nil
+		},
+	}
+}

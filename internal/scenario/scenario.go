@@ -1,0 +1,161 @@
+// Package scenario is the adversarial acceptance harness of the
+// reproduction: each Scenario bundles a topology, an injected fault
+// (prefix hijack, route leak, link-flap storm, partition, mobility),
+// and an expected-provenance oracle — the assertion that querying the
+// anomalous tuple's provenance surfaces the injected cause.
+//
+// Every scenario runs through BOTH deployment shapes the repo serves:
+// a single-process daemon and a 3-shard deployment behind the
+// federating gateway. The harness replays the identical deterministic
+// event sequence into four engine builds (one single + three shards),
+// records snapshot-version "marks" at named points of the replay, and
+// then answers every check twice — once against the single process,
+// once through the gateway — asserting the HTTP bodies are
+// byte-identical before the oracle even runs. Root-cause accuracy and
+// distributed-serving parity are one test.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	nettrails "repro"
+	"repro/internal/engine"
+	"repro/internal/rel"
+	"repro/internal/routeviews"
+	"repro/internal/server"
+)
+
+// Scenario is one adversarial replay: a deterministic instance
+// builder plus the checks its oracle demands.
+type Scenario struct {
+	// Name identifies the scenario in test output and soak reports.
+	Name string
+	// Description says what fault is injected and what the oracle
+	// expects to surface.
+	Description string
+	// Info configures every server arm (protocol label, caps).
+	Info server.Info
+	// NewInstance builds one fresh, fully deterministic instance.
+	// The harness calls it four times — once for the single-process
+	// arm and once per shard — and the four replays must agree to
+	// the byte, so the builder must derive everything from constants
+	// and seeds.
+	NewInstance func() (*Instance, error)
+}
+
+// Instance is one engine build of a scenario.
+type Instance struct {
+	// Eng is the engine the server arm publishes.
+	Eng *engine.Engine
+	// Replay drives the scenario: topology bring-up, fault injection,
+	// convergence. It calls mark(label) at named points so checks can
+	// pin queries to intermediate snapshot versions.
+	Replay func(mark func(label string)) error
+	// Checks returns the oracle checks, evaluated after Replay so a
+	// scenario may derive queries from its final state.
+	Checks func() []Check
+	// ChurnFact builds the k-th synthetic base fact the soak
+	// generator inserts (and later retracts) to keep state churning
+	// under query load; nil means the scenario supports no churn.
+	// The fact must be valid for the scenario's program and must not
+	// disturb the tuples the checks query.
+	ChurnFact func(k int) rel.Tuple
+}
+
+// Check is one oracle assertion: a provenance query, the snapshot to
+// pin it to, and what the answer must reveal.
+type Check struct {
+	// Name identifies the check in failures.
+	Name string
+	// Query is the provquery text sent as {"q": ...} to /v1/query.
+	Query string
+	// AtMark pins the query to a recorded mark's snapshot version;
+	// empty means the final state.
+	AtMark string
+	// WantStatus is the expected HTTP status (0 means 200).
+	WantStatus int
+	// WantErrCode is the expected error-envelope code when WantStatus
+	// is an error status.
+	WantErrCode string
+	// Oracle validates a successful response body; nil means only
+	// status and byte-parity are asserted.
+	Oracle *Oracle
+}
+
+// Oracle states what a query answer must surface about the injected
+// fault. Zero-valued fields are not asserted; which fields apply
+// depends on the query type (nodes, bases, lineage, count).
+type Oracle struct {
+	// CauseNode must participate in the answer: in the nodes list,
+	// as a base tuple's location, or as a proof-tree vertex.
+	CauseNode string
+	// AbsentNode must NOT participate — e.g. the legitimate origin
+	// once a hijack has displaced it.
+	AbsentNode string
+	// AllBasesRel requires every returned base tuple to be of this
+	// relation.
+	AllBasesRel string
+	// WithinDepth bounds where CauseNode must appear in a lineage
+	// proof: within this many tuple levels of the root (0 = anywhere).
+	WithinDepth int
+	// MinCount is the floor for a count query's answer.
+	MinCount int
+}
+
+// Links converts a routeviews AS graph into the BGP deployment's link
+// list: provider→customer edges become CustomerOf (B pays A), peer
+// edges PeerOf.
+func Links(g *routeviews.ASGraph) []nettrails.ASLink {
+	links := make([]nettrails.ASLink, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case routeviews.ProviderToCustomer:
+			links = append(links, nettrails.ASLink{A: e.A, B: e.B, Rel: nettrails.CustomerOf})
+		default:
+			links = append(links, nettrails.ASLink{A: e.A, B: e.B, Rel: nettrails.PeerOf})
+		}
+	}
+	return links
+}
+
+// TupleLiteral renders a tuple in the query language's literal syntax
+// (addresses single-quoted, strings double-quoted, lists bracketed) so
+// a check can query a tuple discovered programmatically. Values must
+// be of kinds the fact grammar accepts (addresses, strings, numbers,
+// lists).
+func TupleLiteral(t rel.Tuple) string {
+	var b strings.Builder
+	b.WriteString(t.Rel)
+	b.WriteByte('(')
+	for i, v := range t.Vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if i == 0 && v.Kind() == rel.KindAddr {
+			b.WriteByte('@')
+		}
+		writeValueLiteral(&b, v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func writeValueLiteral(b *strings.Builder, v rel.Value) {
+	switch v.Kind() {
+	case rel.KindAddr:
+		fmt.Fprintf(b, "'%s'", v.String())
+	case rel.KindList:
+		vals, _ := v.AsList()
+		b.WriteByte('[')
+		for i, e := range vals {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeValueLiteral(b, e)
+		}
+		b.WriteByte(']')
+	default:
+		b.WriteString(v.String()) // ints, floats, bools, quoted strings
+	}
+}

@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// SoakOptions tunes a soak run against a booted scenario.
+type SoakOptions struct {
+	// Clients is how many concurrent HTTP clients replay the query
+	// mix against the gateway (default 8).
+	Clients int
+	// Queries is the total number of queries issued across all
+	// clients (default 2000).
+	Queries int
+	// ChurnEvents is how many base-fact churn events the load
+	// generator applies to every arm's engine, in lockstep, while
+	// the clients run (default 200). Churn mints snapshot versions
+	// concurrently with serving, which is exactly the contention the
+	// publisher's copy-on-publish design exists for.
+	ChurnEvents int
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Queries <= 0 {
+		o.Queries = 2000
+	}
+	if o.ChurnEvents < 0 {
+		o.ChurnEvents = 0
+	}
+	return o
+}
+
+// LatencySummary condenses one query's latency distribution.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50Us float64 `json:"p50Us"`
+	P95Us float64 `json:"p95Us"`
+	P99Us float64 `json:"p99Us"`
+	MaxUs float64 `json:"maxUs"`
+}
+
+// SoakReport is the BENCH_scenarios.json document of one soak run.
+type SoakReport struct {
+	Scenario    string  `json:"scenario"`
+	Clients     int     `json:"clients"`
+	Queries     int     `json:"queries"`
+	ChurnEvents int     `json:"churnEvents"`
+	ElapsedSec  float64 `json:"elapsedSec"`
+
+	// ChecksPassed records that the full oracle suite passed on this
+	// deployment before load started.
+	ChecksPassed int `json:"checksPassed"`
+
+	// PublishedVersions is how many snapshot versions the churn loop
+	// minted during the run; PublishRatePerSec normalizes it.
+	PublishedVersions uint64  `json:"publishedVersions"`
+	PublishRatePerSec float64 `json:"publishRatePerSec"`
+
+	// ThroughputPerSec is queries answered per wall-clock second.
+	ThroughputPerSec float64 `json:"throughputPerSec"`
+
+	// CacheHits/CacheMisses tally the gateway's X-Cache verdicts;
+	// CacheHitRate is hits over verdicts.
+	CacheHits    int64   `json:"cacheHits"`
+	CacheMisses  int64   `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+
+	// Statuses counts responses by HTTP status code.
+	Statuses map[string]int64 `json:"statuses"`
+
+	// Latency summarizes per-check latency distributions, keyed by
+	// check name.
+	Latency map[string]LatencySummary `json:"latency"`
+}
+
+// Soak replays the scenario's query mix against the booted gateway at
+// the configured concurrency while churning every arm's engine, and
+// reports latency percentiles, cache behavior, and publish rate. The
+// oracle checks run first — a soak over a deployment whose answers
+// are wrong measures nothing.
+func (d *Deployment) Soak(opts SoakOptions) (*SoakReport, error) {
+	o := opts.withDefaults()
+	results, err := d.RunChecks()
+	if err != nil {
+		return nil, fmt.Errorf("soak: oracle checks failed before load: %w", err)
+	}
+	if len(d.Checks) == 0 {
+		return nil, fmt.Errorf("soak: scenario %s has no checks to replay", d.Scenario.Name)
+	}
+
+	// Pre-marshal one request body per check, with its pinned version
+	// resolved, so workers only do HTTP.
+	type job struct {
+		name string
+		body []byte
+	}
+	jobs := make([]job, len(d.Checks))
+	for i, c := range d.Checks {
+		version, err := d.resolveMark(c.AtMark)
+		if err != nil {
+			return nil, err
+		}
+		if version == 0 {
+			// Pin final-state queries to the pre-churn snapshot so
+			// every job's answer stays version-determined while the
+			// churn loop advances the current version underneath.
+			version = d.SinglePub.Current().Version
+		}
+		b, err := json.Marshal(&server.QueryRequest{Q: c.Query, Version: version})
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job{name: c.Name, body: b}
+	}
+
+	report := &SoakReport{
+		Scenario:     d.Scenario.Name,
+		Clients:      o.Clients,
+		Queries:      o.Queries,
+		ChurnEvents:  o.ChurnEvents,
+		ChecksPassed: len(results),
+		Statuses:     map[string]int64{},
+		Latency:      map[string]LatencySummary{},
+	}
+
+	var (
+		next      atomic.Int64
+		hits      atomic.Int64
+		misses    atomic.Int64
+		mu        sync.Mutex // guards statuses + latencies
+		latencies = map[string][]float64{}
+	)
+	startVersion := d.SinglePub.Current().Version
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, o.Clients+1)
+	for w := 0; w < o.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= o.Queries {
+					return
+				}
+				j := jobs[k%len(jobs)]
+				t0 := time.Now()
+				status, verdict, err := d.soakQuery(client, j.body)
+				us := float64(time.Since(t0).Microseconds())
+				if err != nil {
+					errc <- fmt.Errorf("soak: query %s: %w", j.name, err)
+					return
+				}
+				switch verdict {
+				case "HIT":
+					hits.Add(1)
+				case "MISS":
+					misses.Add(1)
+				}
+				mu.Lock()
+				report.Statuses[fmt.Sprint(status)]++
+				latencies[j.name] = append(latencies[j.name], us)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Churn: insert/retract a synthetic base fact in lockstep on all
+	// four engines. Engines are single-threaded by contract, so every
+	// mutation happens on this one goroutine; HTTP readers only ever
+	// touch published snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := d.churn(o.ChurnEvents); err != nil {
+			errc <- err
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return nil, err
+	}
+
+	elapsed := time.Since(start).Seconds()
+	report.ElapsedSec = elapsed
+	report.PublishedVersions = d.SinglePub.Current().Version - startVersion
+	if elapsed > 0 {
+		report.PublishRatePerSec = float64(report.PublishedVersions) / elapsed
+		report.ThroughputPerSec = float64(o.Queries) / elapsed
+	}
+	report.CacheHits = hits.Load()
+	report.CacheMisses = misses.Load()
+	if total := report.CacheHits + report.CacheMisses; total > 0 {
+		report.CacheHitRate = float64(report.CacheHits) / float64(total)
+	}
+	for name, ls := range latencies {
+		report.Latency[name] = summarize(ls)
+	}
+	return report, nil
+}
+
+func (d *Deployment) soakQuery(client *http.Client, body []byte) (status int, cacheVerdict string, err error) {
+	resp, err := client.Post(d.Gateway.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reusable; the body's correctness is
+	// the check suite's job, not the soak's.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), nil
+}
+
+// churn inserts and retracts the scenario's synthetic base facts
+// across every arm, one event at a time, so all four version
+// sequences stay aligned. Even events insert fact k/2, odd events
+// retract it again.
+func (d *Deployment) churn(events int) error {
+	if events == 0 {
+		return nil
+	}
+	if d.churnFact == nil {
+		return fmt.Errorf("soak: scenario %s defines no churn fact", d.Scenario.Name)
+	}
+	engines := []*server.Publisher{d.SinglePub}
+	engines = append(engines, d.ShardPubs...)
+	for k := 0; k < events; k++ {
+		fact := d.churnFact(k / 2)
+		for _, pub := range engines {
+			var err error
+			if k%2 == 0 {
+				err = pub.Engine().InsertFact(fact)
+			} else {
+				err = pub.Engine().DeleteFact(fact)
+			}
+			if err != nil {
+				return fmt.Errorf("soak: churn event %d (%s): %w", k, fact, err)
+			}
+		}
+	}
+	return nil
+}
+
+func summarize(us []float64) LatencySummary {
+	sort.Float64s(us)
+	pick := func(q float64) float64 {
+		if len(us) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(us)-1))
+		return us[i]
+	}
+	out := LatencySummary{Count: len(us), P50Us: pick(0.50), P95Us: pick(0.95), P99Us: pick(0.99)}
+	if len(us) > 0 {
+		out.MaxUs = us[len(us)-1]
+	}
+	return out
+}
