@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench serve-smoke scenarios scenarios-slow docs-check ci clean
+.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench bench-publish serve-smoke scenarios scenarios-slow docs-check ci clean
 
 all: fmt-check vet build test
 
@@ -80,7 +80,10 @@ fuzz:
 #   - BENCH_scenarios.json: the adversarial scenario soak (gateway
 #     query latency percentiles, cache hit rate, and publish rate
 #     under engine churn), via cmd/nettrailssoak
-bench:
+#   - BENCH_publish.json: the O(delta) epoch-snapshot publish path
+#     (1/10/100-tuple deltas on the 8-AS trace and a generated
+#     1000-AS graph; allocs/op must track the delta, not the state)
+bench: bench-publish
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 3x . | tee bench_parallel.out
 	$(GO) run ./tools/benchjson < bench_parallel.out > BENCH_parallel.json
 	$(GO) test -run '^$$' -bench 'BenchmarkServeQueries' -benchtime 3x . | tee bench_serve.out
@@ -93,6 +96,13 @@ bench:
 	$(GO) run ./tools/benchjson < bench_sharded.out > BENCH_sharded.json
 	$(GO) run ./cmd/nettrailssoak -hijack-nodes 48 -clients 8 -queries 2000 -churn 200 -out BENCH_scenarios.json
 	@rm -f bench_parallel.out bench_serve.out bench_querycache.out bench_api.out bench_sharded.out
+
+# bench-publish records just the publish-path sweep (the cheap one to
+# rerun while touching the snapshot pipeline).
+bench-publish:
+	$(GO) test -run '^$$' -bench 'BenchmarkPublish' -benchtime 20x . | tee bench_publish.out
+	$(GO) run ./tools/benchjson < bench_publish.out > BENCH_publish.json
+	@rm -f bench_publish.out
 
 # serve-smoke boots the nettrailsd daemon on an ephemeral port and
 # drives /healthz and /query end to end (plus the churn/pinned-version

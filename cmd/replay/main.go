@@ -80,7 +80,7 @@ func runMincost(at int, node string) {
 		}
 		fmt.Print(viz.TablesView(sn))
 		// Drill into the first mincost tuple, as in Figure 2(c).
-		if mcs := sn.Tables["mincost"]; len(mcs) > 0 {
+		if mcs := sn.Tables["mincost"].Tuples(); len(mcs) > 0 {
 			fmt.Println()
 			fmt.Print(nettrails.RenderTupleCard(mcs[0], node))
 			res, err := sys.Lineage(node, mcs[0])

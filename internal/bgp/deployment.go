@@ -136,6 +136,10 @@ func outputTuple(as string, u Update) rel.Tuple {
 // NDlog runtime tables.
 func (d *Deployment) wireTaps(as string, sp *Speaker, px *proxy.Proxy, node *engine.Node) {
 	sp.OnSend = func(u Update) {
+		// The tap writes the runtime tables and provenance store
+		// directly (no InsertFact, no dispatched message), so the
+		// epoch-snapshot activity gate must be told by hand.
+		node.Touch()
 		key := [2]string{u.To, u.Prefix}
 		if old, ok := d.lastSent[as][key]; ok {
 			// Implicit replacement (or explicit withdraw) of the
@@ -159,6 +163,11 @@ func (d *Deployment) wireTaps(as string, sp *Speaker, px *proxy.Proxy, node *eng
 	sp.OnReceive = func(u Update) {
 		key := [2]string{u.From, u.Prefix}
 		senderNode, _ := d.Eng.Node(u.From)
+		// This tap writes two nodes out-of-band: the receiver's tables
+		// get the input route, and the *sender's* provenance store gets
+		// the transmission derivation (ObserveInput/RetractTransmitted).
+		node.Touch()
+		senderNode.Touch()
 		if old, ok := d.lastIn[as][key]; ok {
 			px.RetractTransmitted(old.in, u.From, old.senderOut, senderNode.Prov)
 			if err := node.RT.DeleteBase(old.in); err != nil {

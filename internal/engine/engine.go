@@ -84,7 +84,31 @@ type Node struct {
 	// worker-local buffer of the parallel epoch scheduler. It is only
 	// set by the single worker driving this node during an epoch.
 	cap *sendCapture
+	// activity counts events that may have touched this node's state:
+	// dispatched messages, fact inserts/deletes, and out-of-band
+	// writes reported via Touch. An unchanged activity value between
+	// epoch cuts proves the node's state, provenance, and traffic
+	// counters are all untouched, which lets the snapshot publisher
+	// skip the node without the per-table precise checks. It is
+	// atomic because observation taps may Touch a *remote* node (the
+	// BGP proxy records transmission provenance at the sender) while
+	// that node's own worker is dispatching. Activity values may
+	// differ across scheduler parallelism arms (message batching
+	// differs); they gate local work only and never reach any
+	// published output.
+	activity atomic.Uint64
 }
+
+// Activity returns the node's event counter (see the field doc). Only
+// meaningful between epochs, from the epoch-observer callback.
+func (n *Node) Activity() uint64 { return n.activity.Load() }
+
+// Touch records an out-of-band state mutation. Any code that writes to
+// a node's runtime tables or provenance store directly — instead of
+// going through InsertFact/DeleteFact or message dispatch — must call
+// Touch on that node, or epoch-snapshot publishers will treat the node
+// as unchanged and serve stale state.
+func (n *Node) Touch() { n.activity.Add(1) }
 
 // Engine couples the per-node runtimes to the simulated network.
 type Engine struct {
@@ -235,6 +259,7 @@ func (e *Engine) addNode(addr string) error {
 func wireSize(t rel.Tuple) int { return len(rel.MarshalTuple(t)) + 48 }
 
 func (e *Engine) dispatch(n *Node, m simnet.Message) {
+	n.activity.Add(1)
 	if m.Kind == KindDelta {
 		switch dm := m.Payload.(type) {
 		case DeltaMsg:
@@ -408,6 +433,7 @@ func (e *Engine) SetEpochObserver(fn func()) {
 // (finite materialize lifetime) schedule an expiry; re-insertion
 // refreshes it.
 func (n *Node) InsertFact(t rel.Tuple) error {
+	n.activity.Add(1)
 	if err := n.mirrorKeyReplacement(t); err != nil {
 		return err
 	}
@@ -474,6 +500,7 @@ func (n *Node) mirrorKeyReplacement(t rel.Tuple) error {
 // been inserted as a fact here; retracting derived-only tuples corrupts
 // the count/provenance correspondence.
 func (n *Node) DeleteFact(t rel.Tuple) error {
+	n.activity.Add(1)
 	sch, hasSchema := n.RT.Store.Catalog().Lookup(t.Rel)
 	if hasSchema && sch.Persistent && sch.LifetimeSecs > 0 {
 		// Cancel any pending soft-state expiry for this tuple. The

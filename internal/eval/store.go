@@ -72,6 +72,24 @@ func (s *Store) StateVersion() uint64 {
 	return v
 }
 
+// FreezeAll freezes every instantiated table (empty ones included —
+// an instantiated-but-empty relation is still part of the published
+// state) and returns the persistent frozen views keyed by relation,
+// plus the total visible tuple count. Freezing is O(1) per table (and
+// returns the identical *rel.Frozen while a table's version is
+// unchanged), so the publisher can hand whole node states across
+// epochs by structural sharing.
+func (s *Store) FreezeAll() (map[string]*rel.Frozen, int) {
+	out := make(map[string]*rel.Frozen, len(s.tables))
+	total := 0
+	for name, t := range s.tables {
+		f := t.Freeze()
+		out[name] = f
+		total += f.Len()
+	}
+	return out, total
+}
+
 // Counts returns relation -> visible row count.
 func (s *Store) Counts() map[string]int {
 	out := map[string]int{}

@@ -22,8 +22,12 @@ const MsgKind = "snapshot"
 type Snapshot struct {
 	Time simnet.Time
 	Node string
-	// Tables: relation -> visible tuples (sorted).
-	Tables map[string][]rel.Tuple
+	// Tables: relation -> frozen sorted view of the visible tuples.
+	// Frozen views are persistent (structurally shared with the live
+	// table and neighboring captures), so a capture costs O(1) per
+	// table, not O(tuples) — and an absent relation reads as empty
+	// through the nil-safe *rel.Frozen methods.
+	Tables map[string]*rel.Frozen
 	// ProvEntries / ExecEntries size the provenance partition.
 	ProvEntries int
 	ExecEntries int
@@ -108,16 +112,16 @@ func Capture(e *engine.Engine, addr string) (Snapshot, error) {
 	sn := Snapshot{
 		Time:      e.Net.Now(),
 		Node:      addr,
-		Tables:    map[string][]rel.Tuple{},
+		Tables:    map[string]*rel.Frozen{},
 		Neighbors: e.Net.Neighbors(addr),
 	}
 	for _, relName := range n.RT.Store.TableNames() {
-		ts, err := n.Tuples(relName)
+		tbl, err := n.RT.Store.Table(relName)
 		if err != nil {
 			return Snapshot{}, err
 		}
-		if len(ts) > 0 {
-			sn.Tables[relName] = ts
+		if fz := tbl.Freeze(); fz.Len() > 0 {
+			sn.Tables[relName] = fz
 		}
 	}
 	if n.Prov != nil {
@@ -210,7 +214,7 @@ func (c *Collector) Every(interval simnet.Time, rounds int) error {
 func snapshotSize(sn Snapshot) int {
 	n := 64
 	for _, ts := range sn.Tables {
-		for _, t := range ts {
+		for _, t := range ts.Tuples() {
 			n += len(rel.MarshalTuple(t))
 		}
 	}
@@ -239,7 +243,7 @@ func (s *Store) Dump(w io.Writer) error {
 			}
 			sort.Strings(rels)
 			for _, r := range rels {
-				for _, tp := range sn.Tables[r] {
+				for _, tp := range sn.Tables[r].Tuples() {
 					fmt.Fprintf(w, "  %s\n", tp)
 				}
 			}

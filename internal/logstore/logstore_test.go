@@ -26,7 +26,7 @@ func TestCaptureSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sn.Node != "n1" || len(sn.Tables["mincost"]) == 0 {
+	if sn.Node != "n1" || sn.Tables["mincost"].Len() == 0 {
 		t.Fatalf("snapshot = %+v", sn)
 	}
 	if sn.ProvEntries == 0 || sn.ExecEntries == 0 {

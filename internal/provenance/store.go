@@ -67,18 +67,29 @@ type Store struct {
 	// version increments on every mutation; the query cache uses it for
 	// conservative invalidation.
 	version uint64
-	// view caches the last frozen View built at the current version, so
-	// epoch publishers only pay the copy when the partition changed.
-	view *View
+	// view caches the last frozen View built at the current version.
+	// Rebuilding advances it incrementally: the dirty sets below record
+	// which keys mutated since that view, so View() clones only the
+	// buckets holding them (O(mutations), not O(partition)).
+	view      *View
+	dirtyProv map[rel.ID]struct{}
+	dirtyExec map[rel.ID]struct{}
+	dirtyPins map[rel.ID]struct{}
+	// provCount tracks the number of distinct prov rows incrementally so
+	// Statistics (and every published NodeInfo) is O(1), not O(prov).
+	provCount int
 }
 
 // NewStore creates the provenance partition for one node.
 func NewStore(addr string) *Store {
 	return &Store{
-		addr: addr,
-		prov: map[rel.ID][]*countedEntry{},
-		exec: map[rel.ID]*countedExec{},
-		pins: map[rel.ID]*pin{},
+		addr:      addr,
+		prov:      map[rel.ID][]*countedEntry{},
+		exec:      map[rel.ID]*countedExec{},
+		pins:      map[rel.ID]*pin{},
+		dirtyProv: map[rel.ID]struct{}{},
+		dirtyExec: map[rel.ID]struct{}{},
+		dirtyPins: map[rel.ID]struct{}{},
 	}
 }
 
@@ -95,10 +106,11 @@ func (s *Store) Version() uint64 {
 func (s *Store) pinTuple(t rel.Tuple) {
 	vid := t.VID()
 	if p, ok := s.pins[vid]; ok {
-		p.refs++
+		p.refs++ // refcount-only change: the view's pinned value is the same
 		return
 	}
 	s.pins[vid] = &pin{tuple: t, refs: 1}
+	s.dirtyPins[vid] = struct{}{}
 }
 
 func (s *Store) unpin(vid rel.ID) {
@@ -109,6 +121,7 @@ func (s *Store) unpin(vid rel.ID) {
 	p.refs--
 	if p.refs <= 0 {
 		delete(s.pins, vid)
+		s.dirtyPins[vid] = struct{}{}
 	}
 }
 
@@ -131,12 +144,14 @@ func (s *Store) RemoveBase(t rel.Tuple) {
 func (s *Store) addEntryLocked(t rel.Tuple, e Entry) {
 	for _, ce := range s.prov[e.VID] {
 		if ce.entry == e {
-			ce.count++
+			ce.count++ // count-only change: the view's entry list is the same
 			s.pinTuple(t)
 			return
 		}
 	}
 	s.prov[e.VID] = append(s.prov[e.VID], &countedEntry{entry: e, count: 1})
+	s.provCount++
+	s.dirtyProv[e.VID] = struct{}{}
 	s.pinTuple(t)
 }
 
@@ -154,6 +169,8 @@ func (s *Store) removeEntryLocked(vid rel.ID, e Entry) {
 				} else {
 					s.prov[vid] = list
 				}
+				s.provCount--
+				s.dirtyProv[vid] = struct{}{}
 			}
 			return
 		}
@@ -176,9 +193,10 @@ func (s *Store) RecordFiring(f eval.Firing) Entry {
 	e := Entry{VID: f.Output.VID(), RID: rid, RLoc: s.addr}
 	if f.Sign > 0 {
 		if ce, ok := s.exec[rid]; ok {
-			ce.count++
+			ce.count++ // count-only change: the view's exec row is the same
 		} else {
 			s.exec[rid] = &countedExec{exec: ExecEntry{RID: rid, Rule: f.RuleName, VIDs: vids}, count: 1}
+			s.dirtyExec[rid] = struct{}{}
 			for _, in := range f.Inputs {
 				s.pinTuple(in)
 			}
@@ -191,6 +209,7 @@ func (s *Store) RecordFiring(f eval.Firing) Entry {
 			ce.count--
 			if ce.count <= 0 {
 				delete(s.exec, rid)
+				s.dirtyExec[rid] = struct{}{}
 				for _, vid := range vids {
 					s.unpin(vid)
 				}
@@ -283,15 +302,12 @@ type Stats struct {
 	Pins        int
 }
 
-// Statistics returns partition sizes.
+// Statistics returns partition sizes in O(1): the distinct prov-row
+// count is maintained incrementally by the mutators.
 func (s *Store) Statistics() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n := 0
-	for _, l := range s.prov {
-		n += len(l)
-	}
-	return Stats{ProvEntries: n, ExecEntries: len(s.exec), Pins: len(s.pins)}
+	return Stats{ProvEntries: s.provCount, ExecEntries: len(s.exec), Pins: len(s.pins)}
 }
 
 // ProvTuples renders the partition as prov(@Loc,VID,RID,RLoc) tuples,
@@ -340,10 +356,12 @@ func (s *Store) ExecTuples() []rel.Tuple {
 func (s *Store) CheckInvariants() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	total := 0
 	for vid, list := range s.prov {
 		if len(list) == 0 {
 			return fmt.Errorf("provenance: empty prov list for %s", vid.Short())
 		}
+		total += len(list)
 		for _, ce := range list {
 			if ce.count <= 0 {
 				return fmt.Errorf("provenance: non-positive prov count for %s", vid.Short())
@@ -365,6 +383,9 @@ func (s *Store) CheckInvariants() error {
 				return fmt.Errorf("provenance: exec %s references unpinned input %s", rid.Short(), vid.Short())
 			}
 		}
+	}
+	if total != s.provCount {
+		return fmt.Errorf("provenance: provCount drift: counted %d, tracked %d", total, s.provCount)
 	}
 	for vid, p := range s.pins {
 		if p.refs <= 0 {

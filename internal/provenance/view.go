@@ -6,62 +6,197 @@ import (
 	"repro/internal/rel"
 )
 
-// View is an immutable copy of one node's provenance partition at a
+// bucketTarget is the load factor the view's bucket directory aims for:
+// roughly this many keys per bucket. Buckets stay small so cloning a
+// mutated bucket copies O(bucketTarget) entries, not the partition.
+const bucketTarget = 16
+
+// buckets is a persistent hash directory: a power-of-two spine of small
+// maps keyed by rel.ID. Successive views share every bucket the
+// mutations between them did not touch; an update clones only the dirty
+// buckets (and the spine). The per-bucket maps are lazily allocated —
+// a nil bucket reads as empty.
+type buckets[V any] struct {
+	mask uint32
+	m    []map[rel.ID]V
+}
+
+func bucketIdx(id rel.ID, mask uint32) uint32 {
+	return uint32(id.Hash64()) & mask
+}
+
+func (b buckets[V]) get(id rel.ID) (V, bool) {
+	if len(b.m) == 0 {
+		var zero V
+		return zero, false
+	}
+	v, ok := b.m[bucketIdx(id, b.mask)][id]
+	return v, ok
+}
+
+// bucketCountFor picks the spine size for n keys: the smallest power of
+// two keeping buckets near bucketTarget, never below the previous size
+// (grow-only, so steady-state updates are always incremental).
+func bucketCountFor(n, prev int) int {
+	nb := 1
+	for nb*bucketTarget < n {
+		nb <<= 1
+	}
+	if nb < prev {
+		nb = prev
+	}
+	return nb
+}
+
+// updateBuckets derives the next version of a bucket directory. When
+// the spine size is unchanged it copies the spine and clones only the
+// buckets holding dirty keys, re-deriving those keys through lookup;
+// on growth (or first build) it rebuilds from iterate. Either way the
+// previous version's buckets are never written.
+func updateBuckets[V any](old buckets[V], n int, dirty map[rel.ID]struct{},
+	lookup func(rel.ID) (V, bool), iterate func(func(rel.ID, V))) buckets[V] {
+	nb := bucketCountFor(n, len(old.m))
+	if old.m == nil || nb != len(old.m) {
+		out := buckets[V]{mask: uint32(nb - 1), m: make([]map[rel.ID]V, nb)}
+		iterate(func(id rel.ID, v V) {
+			i := bucketIdx(id, out.mask)
+			if out.m[i] == nil {
+				out.m[i] = make(map[rel.ID]V, bucketTarget)
+			}
+			out.m[i][id] = v
+		})
+		return out
+	}
+	out := buckets[V]{mask: old.mask, m: append([]map[rel.ID]V(nil), old.m...)}
+	cloned := make(map[uint32]bool, len(dirty))
+	for id := range dirty {
+		i := bucketIdx(id, out.mask)
+		if !cloned[i] {
+			nm := make(map[rel.ID]V, len(out.m[i])+1)
+			for k, v := range out.m[i] {
+				nm[k] = v
+			}
+			out.m[i] = nm
+			cloned[i] = true
+		}
+		if v, ok := lookup(id); ok {
+			out.m[i][id] = v
+		} else {
+			delete(out.m[i], id)
+		}
+	}
+	return out
+}
+
+// View is an immutable version of one node's provenance partition at a
 // single instant. Views are built copy-on-publish by Store.View and
 // shared freely across goroutines: nothing ever mutates a View after
-// construction, so readers need no locks.
+// construction, so readers need no locks. Successive views share every
+// bucket that no mutation touched (structural sharing), so building
+// the next view costs O(mutations since the last one), not
+// O(partition).
 //
 // nettrails:frozen (enforced by the frozenwrite analyzer)
 type View struct {
 	addr        string
 	version     uint64
-	prov        map[rel.ID][]Entry // sorted like Store.Derivations
-	exec        map[rel.ID]ExecEntry
-	pins        map[rel.ID]rel.Tuple
+	prov        buckets[[]Entry] // per-VID lists sorted like Store.Derivations
+	exec        buckets[ExecEntry]
+	pins        buckets[rel.Tuple]
 	provEntries int
+	execEntries int
+	pinEntries  int
 }
 
-// View returns a frozen copy of the partition. The copy is cached per
-// store version: while no mutation has happened since the last call,
-// the same *View is handed back, so publishing an unchanged partition
-// every epoch costs one lock acquisition and a counter compare.
+// View returns a frozen version of the partition. The view is cached
+// per store version: while no mutation has happened since the last
+// call, the same *View is handed back. When mutations did happen, the
+// previous view is advanced by cloning only the buckets holding dirty
+// keys — the rest of the directory is shared between versions.
 func (s *Store) View() *View {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.view != nil && s.view.version == s.version {
 		return s.view
 	}
+	var old View
+	if s.view != nil {
+		old = *s.view
+	}
 	v := &View{
-		addr:    s.addr,
-		version: s.version,
-		prov:    make(map[rel.ID][]Entry, len(s.prov)),
-		exec:    make(map[rel.ID]ExecEntry, len(s.exec)),
-		pins:    make(map[rel.ID]rel.Tuple, len(s.pins)),
+		addr:        s.addr,
+		version:     s.version,
+		provEntries: s.provCount,
+		execEntries: len(s.exec),
+		pinEntries:  len(s.pins),
 	}
-	for vid, list := range s.prov {
-		out := make([]Entry, len(list))
-		for i, ce := range list {
-			out[i] = ce.entry
-		}
-		sort.Slice(out, func(i, j int) bool {
-			if c := out[i].RID.Compare(out[j].RID); c != 0 {
-				return c < 0
+	v.prov = updateBuckets(old.prov, len(s.prov), s.dirtyProv,
+		func(vid rel.ID) ([]Entry, bool) {
+			list, ok := s.prov[vid]
+			if !ok {
+				return nil, false
 			}
-			return out[i].RLoc < out[j].RLoc
+			return sortedEntries(list), true
+		},
+		func(emit func(rel.ID, []Entry)) {
+			for vid, list := range s.prov {
+				emit(vid, sortedEntries(list))
+			}
 		})
-		v.prov[vid] = out
-		v.provEntries += len(out)
-	}
-	for rid, ce := range s.exec {
-		e := ce.exec
-		e.VIDs = append([]rel.ID(nil), ce.exec.VIDs...)
-		v.exec[rid] = e
-	}
-	for vid, p := range s.pins {
-		v.pins[vid] = p.tuple
-	}
+	v.exec = updateBuckets(old.exec, len(s.exec), s.dirtyExec,
+		func(rid rel.ID) (ExecEntry, bool) {
+			ce, ok := s.exec[rid]
+			if !ok {
+				return ExecEntry{}, false
+			}
+			return frozenExec(ce), true
+		},
+		func(emit func(rel.ID, ExecEntry)) {
+			for rid, ce := range s.exec {
+				emit(rid, frozenExec(ce))
+			}
+		})
+	v.pins = updateBuckets(old.pins, len(s.pins), s.dirtyPins,
+		func(vid rel.ID) (rel.Tuple, bool) {
+			p, ok := s.pins[vid]
+			if !ok {
+				return rel.Tuple{}, false
+			}
+			return p.tuple, true
+		},
+		func(emit func(rel.ID, rel.Tuple)) {
+			for vid, p := range s.pins {
+				emit(vid, p.tuple)
+			}
+		})
+	clear(s.dirtyProv)
+	clear(s.dirtyExec)
+	clear(s.dirtyPins)
 	s.view = v
 	return v
+}
+
+// sortedEntries renders one prov list in the deterministic order
+// Store.Derivations uses.
+func sortedEntries(list []*countedEntry) []Entry {
+	out := make([]Entry, len(list))
+	for i, ce := range list {
+		out[i] = ce.entry
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].RID.Compare(out[j].RID); c != 0 {
+			return c < 0
+		}
+		return out[i].RLoc < out[j].RLoc
+	})
+	return out
+}
+
+// frozenExec snapshots one rule execution with its own VIDs backing.
+func frozenExec(ce *countedExec) ExecEntry {
+	e := ce.exec
+	e.VIDs = append([]rel.ID(nil), ce.exec.VIDs...)
+	return e
 }
 
 // Addr returns the owning node's address.
@@ -74,23 +209,20 @@ func (v *View) Version() uint64 { return v.version }
 // deterministically; ok is false when the tuple is unknown here. The
 // returned slice is shared and must not be mutated.
 func (v *View) Derivations(vid rel.ID) ([]Entry, bool) {
-	list, ok := v.prov[vid]
-	return list, ok
+	return v.prov.get(vid)
 }
 
 // Exec returns the rule execution for a RID at this node.
 func (v *View) Exec(rid rel.ID) (ExecEntry, bool) {
-	e, ok := v.exec[rid]
-	return e, ok
+	return v.exec.get(rid)
 }
 
 // TupleOf resolves a pinned VID to its tuple value.
 func (v *View) TupleOf(vid rel.ID) (rel.Tuple, bool) {
-	t, ok := v.pins[vid]
-	return t, ok
+	return v.pins.get(vid)
 }
 
 // Statistics returns partition sizes, mirroring Store.Statistics.
 func (v *View) Statistics() Stats {
-	return Stats{ProvEntries: v.provEntries, ExecEntries: len(v.exec), Pins: len(v.pins)}
+	return Stats{ProvEntries: v.provEntries, ExecEntries: v.execEntries, Pins: v.pinEntries}
 }

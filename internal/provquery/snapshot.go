@@ -33,24 +33,56 @@ var (
 	_ PartitionView = (*provenance.View)(nil)
 )
 
-// SnapshotClient answers provenance queries against a fixed set of
+// ViewResolver resolves node addresses to partition views. It is the
+// pluggable lookup behind SnapshotClient: the snapshot publisher hands
+// its own (O(1), allocation-free) resolver straight to the client
+// instead of materializing a map of views on every publish.
+// Implementations must be immutable once a client is built over them.
+type ViewResolver interface {
+	// PartitionView returns the view of addr's partition; ok is false
+	// when this resolver does not hold it.
+	PartitionView(addr string) (PartitionView, bool)
+	// KnownNode reports whether addr is a node of the wider network even
+	// though its partition may not be held here (a sharded deployment).
+	// Resolvers that hold the whole network return false: an unresolved
+	// address is then simply unknown.
+	KnownNode(addr string) bool
+}
+
+// SnapshotClient answers provenance queries against a fixed resolver of
 // per-node partition views. It is immutable after construction; a
 // single SnapshotClient may serve many goroutines concurrently when
 // its views are immutable (e.g. provenance.View). Each Query builds its
 // own walk state, so no state is shared between concurrent queries.
 type SnapshotClient struct {
+	src ViewResolver
+}
+
+// mapViewSet is the map-backed ViewResolver the legacy constructors
+// wrap: views keyed by address, plus the optional known-node set of a
+// sharded deployment (nil known = views cover the whole network).
+type mapViewSet struct {
 	views map[string]PartitionView
-	// known lists every node address in the network when the views are
-	// only a shard of it; a walk that reaches a known node whose view
-	// is absent aborts with ErrNotOwned instead of fabricating an
-	// empty sub-result. Nil means the views are the whole network.
 	known map[string]bool
+}
+
+func (m mapViewSet) PartitionView(addr string) (PartitionView, bool) {
+	v, ok := m.views[addr]
+	return v, ok
+}
+
+func (m mapViewSet) KnownNode(addr string) bool { return m.known[addr] }
+
+// NewResolverClient builds a client directly over a ViewResolver. The
+// resolver must be immutable for the client's lifetime.
+func NewResolverClient(src ViewResolver) *SnapshotClient {
+	return &SnapshotClient{src: src}
 }
 
 // NewSnapshotClient builds a client over per-node views keyed by node
 // address. The map is used as-is and must not be mutated afterwards.
 func NewSnapshotClient(views map[string]PartitionView) *SnapshotClient {
-	return &SnapshotClient{views: views}
+	return NewResolverClient(mapViewSet{views: views})
 }
 
 // NewPartialSnapshotClient builds a client over one shard's subset of
@@ -64,7 +96,7 @@ func NewPartialSnapshotClient(views map[string]PartitionView, allNodes []string)
 	for _, addr := range allNodes {
 		known[addr] = true
 	}
-	return &SnapshotClient{views: views, known: known}
+	return NewResolverClient(mapViewSet{views: views, known: known})
 }
 
 // Query evaluates a provenance query of the given type for the tuple at
@@ -89,9 +121,9 @@ func (c *SnapshotClient) Query(typ QueryType, at string, t rel.Tuple, opts Optio
 // next vertex and the call returns an error wrapping ctx.Err() instead
 // of a partial Result.
 func (c *SnapshotClient) QueryContext(ctx context.Context, typ QueryType, at string, t rel.Tuple, opts Options) (*Result, error) {
-	v, ok := c.views[at]
+	v, ok := c.src.PartitionView(at)
 	if !ok {
-		if c.known[at] {
+		if c.src.KnownNode(at) {
 			return nil, fmt.Errorf("provquery: node %s: %w", at, ErrNotOwned)
 		}
 		return nil, fmt.Errorf("provquery: %w %s", ErrUnknownNode, at)
@@ -100,7 +132,7 @@ func (c *SnapshotClient) QueryContext(ctx context.Context, typ QueryType, at str
 	if _, ok := v.Derivations(vid); !ok {
 		return nil, fmt.Errorf("provquery: tuple %s has %w at %s", t, ErrNoProvenance, at)
 	}
-	src := &snapSource{views: c.views, known: c.known}
+	src := &snapSource{src: c.src}
 	w := provgraph.NewWalkContext(ctx, src, typ, opts)
 	var out provgraph.SubResult
 	w.ResolveTuple(at, vid, nil, func(r provgraph.SubResult) { out = r })
@@ -130,8 +162,7 @@ func (c *SnapshotClient) Run(src string) (*Result, error) {
 // One snapSource serves exactly one query; its counters are the walk's
 // traffic model.
 type snapSource struct {
-	views map[string]PartitionView
-	known map[string]bool // see SnapshotClient.known; nil = whole network
+	src   ViewResolver
 	msgs  int
 	bytes int
 	// notOwned records the first known-but-unheld node the walk read,
@@ -142,8 +173,8 @@ type snapSource struct {
 // view resolves loc's partition view, recording a cross-shard escape
 // when loc is a known network node whose partition is not held here.
 func (s *snapSource) view(loc string) (PartitionView, bool) {
-	v, ok := s.views[loc]
-	if !ok && s.known[loc] && s.notOwned == "" {
+	v, ok := s.src.PartitionView(loc)
+	if !ok && s.src.KnownNode(loc) && s.notOwned == "" {
 		s.notOwned = loc
 	}
 	return v, ok

@@ -52,6 +52,18 @@ type Table struct {
 	// version counts visibility transitions (Appeared/Disappeared), so
 	// snapshot publishers can skip re-copying unchanged tables.
 	version uint64
+
+	// chunks is the persistent sorted spine of visible tuples (see
+	// frozen.go): maintained incrementally on every visibility
+	// transition, handed off wholesale by Freeze. gen is the current
+	// write generation; chunks whose gen is older are shared with a
+	// frozen version and are copied before any in-place edit. spineGen
+	// tracks the generation the chunk-pointer slice itself was last
+	// copied for.
+	chunks   []*chunk
+	gen      uint64
+	spineGen uint64
+	frozen   *Frozen
 }
 
 type index struct {
@@ -61,7 +73,7 @@ type index struct {
 
 // NewTable creates an empty table for the schema.
 func NewTable(s *Schema) *Table {
-	return &Table{schema: s, rows: map[ID]*Row{}, indexes: map[string]*index{}}
+	return &Table{schema: s, rows: map[ID]*Row{}, indexes: map[string]*index{}, gen: 1, spineGen: 1}
 }
 
 // Schema returns the table's schema.
@@ -197,6 +209,7 @@ func (t *Table) Apply(tp Tuple, delta int) Transition {
 			r = &Row{Tuple: tp, Count: delta}
 			t.rows[vid] = r
 			t.indexAdd(vid, tp)
+			t.chunkInsert(tp)
 			t.version++
 			return Appeared
 		}
@@ -211,6 +224,7 @@ func (t *Table) Apply(tp Tuple, delta int) Transition {
 		if r.Count <= 0 {
 			delete(t.rows, vid)
 			t.indexRemove(vid, r.Tuple)
+			t.chunkRemove(r.Tuple)
 			t.version++
 			return Disappeared
 		}
@@ -282,20 +296,18 @@ func (t *Table) Scan(f func(*Row) bool) {
 
 // Rows returns all visible rows sorted by tuple order (deterministic).
 func (t *Table) Rows() []*Row {
-	out := make([]*Row, 0, len(t.rows))
-	for _, r := range t.rows {
-		out = append(out, r)
+	ts := t.Freeze().Tuples()
+	out := make([]*Row, len(ts))
+	for i, tp := range ts {
+		out[i] = t.rows[tp.VID()]
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out
 }
 
-// Tuples returns all visible tuples sorted deterministically.
+// Tuples returns all visible tuples sorted deterministically. The
+// result is the current frozen version's shared slice: already sorted,
+// memoized while the table's Version() is unchanged, and read-only to
+// callers.
 func (t *Table) Tuples() []Tuple {
-	rows := t.Rows()
-	out := make([]Tuple, len(rows))
-	for i, r := range rows {
-		out[i] = r.Tuple
-	}
-	return out
+	return t.Freeze().Tuples()
 }

@@ -414,8 +414,8 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 	}
 	// Nodes is always a JSON array, never null.
 	out := NodesJSON{Version: snap.Version, Time: int64(snap.Time), Nodes: []NodeJSON{}}
-	for _, addr := range snap.Nodes {
-		info := snap.Info[addr]
+	for i, addr := range snap.Nodes {
+		info := snap.states[i].info
 		out.Nodes = append(out.Nodes, NodeJSON{
 			Addr:        addr,
 			Neighbors:   info.Neighbors,
@@ -479,8 +479,8 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		if relFilter != "" && name != relFilter {
 			continue
 		}
-		rows := make([]TupleJSON, len(ts))
-		for i, t := range ts {
+		rows := make([]TupleJSON, ts.Len())
+		for i, t := range ts.Tuples() {
 			rows[i] = JSONTuple(t)
 		}
 		out.Tables[name] = rows

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/logstore"
+	"repro/internal/rel"
+	"repro/internal/simnet"
+)
+
+// churnTuple is a base fact whose insertion perturbs the engine's
+// state without needing any particular protocol meaning.
+func churnTuple(node string, k int) rel.Tuple {
+	return rel.NewTuple("link", rel.Addr(node), rel.Addr(node), rel.Int(int64(90+k%7)))
+}
+
+// nodeVersions records every node's (state, prov) version pair.
+func nodeVersions(t *testing.T, p *Publisher) map[string][2]uint64 {
+	t.Helper()
+	out := map[string][2]uint64{}
+	for _, addr := range p.eng.Nodes() {
+		n, ok := p.eng.Node(addr)
+		if !ok {
+			t.Fatalf("missing node %s", addr)
+		}
+		out[addr] = [2]uint64{n.RT.Store.StateVersion(), n.Prov.Version()}
+	}
+	return out
+}
+
+// TestPublishSharesUnchangedNodeStates is the tentpole handoff
+// invariant: after a publish, every node whose state did not change
+// keeps its identical *nodeState (tables, view, and NodeInfo all
+// shared, nothing recounted), while changed nodes get fresh ones.
+func TestPublishSharesUnchangedNodeStates(t *testing.T) {
+	e := buildGrid(t, 3)
+	pub, err := NewPublisher(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Detach()
+
+	before := pub.Publish()
+	pre := nodeVersions(t, pub)
+	if err := e.InsertFact(churnTuple("n1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	after := pub.Publish()
+	post := nodeVersions(t, pub)
+
+	if after == before || after.Version != before.Version+1 {
+		t.Fatalf("churn did not mint a new version: %d -> %d", before.Version, after.Version)
+	}
+	changed, carried := 0, 0
+	for i, addr := range after.Nodes {
+		if pre[addr] == post[addr] {
+			carried++
+			if before.states[i] != after.states[i] {
+				t.Errorf("node %s unchanged but its nodeState was rebuilt", addr)
+			}
+		} else {
+			changed++
+			if before.states[i] == after.states[i] {
+				t.Errorf("node %s changed but still shares the old nodeState", addr)
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("churn changed no node")
+	}
+	if carried == 0 {
+		t.Fatal("test is vacuous: every node changed, nothing was carried")
+	}
+
+	// The carried info (including the tuple count of satellite fame) is
+	// byte-for-byte the previous epoch's — never recounted.
+	for i, addr := range after.Nodes {
+		if pre[addr] != post[addr] {
+			continue
+		}
+		if got, want := fmt.Sprint(after.states[i].info), fmt.Sprint(before.states[i].info); got != want {
+			t.Errorf("node %s carried info drifted: %s vs %s", addr, got, want)
+		}
+	}
+}
+
+// TestPublishNoChangeReturnsSameSnapshot: a publish with no state
+// change anywhere returns the identical snapshot, no new version.
+func TestPublishNoChangeReturnsSameSnapshot(t *testing.T) {
+	e := buildGrid(t, 2)
+	pub, err := NewPublisher(e, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Detach()
+	s1 := pub.Publish()
+	s2 := pub.Publish()
+	if s1 != s2 {
+		t.Fatalf("no-op publish minted version %d after %d", s2.Version, s1.Version)
+	}
+}
+
+// mallocsAround measures heap allocations performed by fn on this
+// goroutine (the publisher path is single-threaded between epochs).
+func mallocsAround(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestPublishAllocsBoundedByDelta drives a long churn loop and checks
+// the per-publish allocation cost tracks the delta, not the state or
+// the epoch count: late-loop publishes allocate no more than early
+// ones, and a bigger grid costs no meaningful multiple of a small one
+// for the same 1-tuple delta.
+func TestPublishAllocsBoundedByDelta(t *testing.T) {
+	measure := func(side, epochs int) (perPublish uint64) {
+		e := buildGrid(t, side)
+		pub, err := NewPublisher(e, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub.Detach()
+		var worst uint64
+		for k := 0; k < epochs; k++ {
+			tp := churnTuple("n1", k)
+			if err := e.InsertFact(tp); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.DeleteFact(tp); err != nil {
+				t.Fatal(err)
+			}
+			if m := mallocsAround(func() { pub.Publish() }); k > epochs/2 && m > worst {
+				worst = m
+			}
+		}
+		return worst
+	}
+
+	small := measure(2, 400)
+	large := measure(5, 400)
+	t.Logf("worst per-publish mallocs: 2x2 grid %d, 5x5 grid %d", small, large)
+	// The delta is one tuple in both runs. A generous constant bound
+	// catches any O(state) or O(history) regression (those would be in
+	// the thousands for the 5x5 grid) without being flaky about small
+	// bookkeeping differences.
+	if large > 4*small+200 {
+		t.Fatalf("publish allocations grew with state size: 2x2=%d 5x5=%d", small, large)
+	}
+}
+
+// TestChurnLoopBounded runs a 10k-epoch churn loop against one
+// publisher and checks the retained structures stay bounded: the ring
+// never exceeds retain, the history list stays within its hysteresis
+// window, and every owned node stays resolvable at the current instant
+// (the carry-forward guarantee).
+func TestChurnLoopBounded(t *testing.T) {
+	const epochs = 10000
+	const retain = 8
+	e := buildGrid(t, 2)
+	pub, err := NewPublisher(e, retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Detach()
+	for k := 0; k < epochs; k++ {
+		tp := churnTuple("n1", k)
+		if err := e.InsertFact(tp); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.DeleteFact(tp); err != nil {
+			t.Fatal(err)
+		}
+		pub.Publish()
+	}
+	snap := pub.Current()
+	if oldest, newest := pub.Versions(); newest-oldest+1 > retain {
+		t.Fatalf("ring grew past retain: [%d, %d]", oldest, newest)
+	}
+	if max := 2 * retain * len(snap.Nodes); snap.History.Len() > max {
+		t.Fatalf("history grew past the hysteresis window: %d > %d", snap.History.Len(), max)
+	}
+	view := snap.History.At(snap.Time)
+	for _, addr := range snap.Nodes {
+		if _, ok := view[addr]; !ok {
+			t.Fatalf("node %s lost its history row after trimming", addr)
+		}
+	}
+}
+
+// TestTrimHistoryCarryForward exercises the trim directly: a quiet
+// node's only (early) row must survive, in time order, while the noisy
+// suffix is kept as-is.
+func TestTrimHistoryCarryForward(t *testing.T) {
+	p := &Publisher{retain: 2, owned: []string{"loud", "quiet"}}
+	row := func(node string, at int) logstore.Snapshot {
+		return logstore.Snapshot{Node: node, Time: simnet.Time(at)}
+	}
+	p.history = append(p.history, row("quiet", 1), row("loud", 1))
+	for i := 2; i <= 20; i++ {
+		p.history = append(p.history, row("loud", i))
+	}
+	p.trimHistory()
+
+	maxLen := p.retain * len(p.owned)
+	if len(p.history) > maxLen+1 {
+		t.Fatalf("trim kept %d rows, want <= %d", len(p.history), maxLen+1)
+	}
+	if p.history[0].Node != "quiet" || p.history[0].Time != 1 {
+		t.Fatalf("quiet node's only row was dropped; head is %+v", p.history[0])
+	}
+	for i := 1; i < len(p.history); i++ {
+		if p.history[i].Time < p.history[i-1].Time {
+			t.Fatalf("trimmed history out of time order at %d", i)
+		}
+		if p.history[i].Node != "loud" {
+			t.Fatalf("unexpected row %+v", p.history[i])
+		}
+	}
+	if last := p.history[len(p.history)-1]; last.Time != 20 {
+		t.Fatalf("newest row lost: %+v", last)
+	}
+
+	// Idempotent below the hysteresis threshold: nothing more to cut.
+	before := len(p.history)
+	p.trimHistory()
+	if len(p.history) != before {
+		t.Fatalf("second trim changed length %d -> %d", before, len(p.history))
+	}
+}

@@ -136,8 +136,8 @@ func (s *Snapshot) ProvRead(ops []ProvReadOp) []ProvReadResult {
 }
 
 func (s *Snapshot) provReadOne(op ProvReadOp) ProvReadResult {
-	v, ok := s.views[op.Loc]
-	if !ok {
+	v := s.viewOf(op.Loc)
+	if v == nil {
 		pos := sort.SearchStrings(s.AllNodes, op.Loc)
 		if pos < len(s.AllNodes) && s.AllNodes[pos] == op.Loc {
 			return ProvReadResult{Err: ErrWrongShard}

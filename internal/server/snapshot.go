@@ -33,6 +33,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/engine"
@@ -102,9 +103,24 @@ type NodeInfo struct {
 	SentBytes int
 }
 
+// nodeState is one node's frozen partition inside a snapshot: the
+// persistent table views, the provenance view, and the published
+// metadata. When a node processed nothing between two epochs its
+// *nodeState is carried into the next snapshot untouched — the handoff
+// that makes publishing O(changed nodes), not O(network).
+//
+// nettrails:frozen (enforced by the frozenwrite analyzer)
+type nodeState struct {
+	tables map[string]*rel.Frozen
+	view   *provenance.View
+	info   NodeInfo
+}
+
 // Snapshot is one immutable published view of the whole system at a
 // consistent virtual instant. Everything reachable from a Snapshot is
-// frozen: concurrent readers share it without synchronization.
+// frozen: concurrent readers share it without synchronization, and
+// consecutive snapshots share every per-node state (tables, views,
+// history rows) that did not change between them.
 //
 // nettrails:frozen (enforced by the frozenwrite analyzer)
 type Snapshot struct {
@@ -124,20 +140,50 @@ type Snapshot struct {
 	// Shard records which slice of the deployment this snapshot serves
 	// (the zero value when unsharded).
 	Shard ShardSpec
-	// Tables maps node -> relation -> visible tuples (sorted).
-	Tables map[string]map[string][]rel.Tuple
-	// Info maps node -> frozen metadata.
-	Info map[string]NodeInfo
 	// History is the time-indexed log of per-node captures up to and
 	// including this snapshot (logstore-backed time travel).
 	History *logstore.Store
 
-	views map[string]*provenance.View
-	query *provquery.SnapshotClient
+	// states holds the frozen per-node partitions, parallel to Nodes;
+	// index maps address -> position (one map, shared by every snapshot
+	// of the publisher — the node set is fixed).
+	states []*nodeState
+	index  map[string]int
+	query  *provquery.SnapshotClient
 	// cache memoizes whole query results for this (immutable) version;
 	// see querycache.go. It is evicted together with the snapshot when
 	// the version ages out of the retention ring.
 	cache *queryCache
+}
+
+// stateOf returns the frozen state of an owned node, nil otherwise.
+func (s *Snapshot) stateOf(addr string) *nodeState {
+	if i, ok := s.index[addr]; ok {
+		return s.states[i]
+	}
+	return nil
+}
+
+// PartitionView resolves an owned node's provenance view; together
+// with KnownNode this makes the snapshot itself the provquery
+// ViewResolver, so no per-publish view map is materialized.
+func (s *Snapshot) PartitionView(addr string) (provquery.PartitionView, bool) {
+	st := s.stateOf(addr)
+	if st == nil {
+		return nil, false
+	}
+	return st.view, true
+}
+
+// KnownNode reports whether addr is a node of the wider network whose
+// partition lives on another shard (always false when unsharded: every
+// network node is owned, so an unresolved address is simply unknown).
+func (s *Snapshot) KnownNode(addr string) bool {
+	if s.Shard.Unsharded() {
+		return false
+	}
+	pos := sort.SearchStrings(s.AllNodes, addr)
+	return pos < len(s.AllNodes) && s.AllNodes[pos] == addr
 }
 
 // Query evaluates a provenance query against this snapshot. Safe for
@@ -152,17 +198,28 @@ func (s *Snapshot) QueryText(src string) (*provquery.Result, error) {
 	return s.query.Run(src)
 }
 
-// NodeTables returns a node's frozen tables; ok is false for unknown
-// nodes.
-func (s *Snapshot) NodeTables(addr string) (map[string][]rel.Tuple, bool) {
-	t, ok := s.Tables[addr]
-	return t, ok
+// NodeTables returns a node's frozen tables (persistent views keyed by
+// relation); ok is false for unknown nodes.
+func (s *Snapshot) NodeTables(addr string) (map[string]*rel.Frozen, bool) {
+	st := s.stateOf(addr)
+	if st == nil {
+		return nil, false
+	}
+	return st.tables, true
+}
+
+// viewOf returns an owned node's provenance view, nil otherwise.
+func (s *Snapshot) viewOf(addr string) *provenance.View {
+	if st := s.stateOf(addr); st != nil {
+		return st.view
+	}
+	return nil
 }
 
 // misdirected returns the wrong-shard error for a node that exists in
 // the network but is owned by another shard, and nil otherwise.
 func (s *Snapshot) misdirected(addr string) *APIError {
-	if s.Shard.Unsharded() || s.Tables[addr] != nil {
+	if s.Shard.Unsharded() || s.stateOf(addr) != nil {
 		return nil
 	}
 	for i, a := range s.AllNodes {
@@ -187,20 +244,37 @@ type ring struct {
 // lock-free readers. All its methods except Current/At/Versions must
 // run on the simulation thread (Publish is normally invoked via the
 // engine's epoch observer and never called directly).
+//
+// The engine's node set is fixed once a deployment is constructed, so
+// every node list, engine handle, and lookup structure is captured at
+// construction; Publish itself allocates nothing per unchanged node.
 type Publisher struct {
 	eng    *engine.Engine
 	retain int
 	shard  ShardSpec
-	owned  map[string]bool
+
+	allNodes   []string       // every node, sorted; shared by all snapshots
+	nodes      []*engine.Node // parallel to allNodes
+	owned      []string       // owned subset, sorted; shared by all snapshots
+	ownedNodes []*engine.Node // parallel to owned
+	ownedIdx   []int          // allNodes position -> owned position, -1 if unowned
+	index      map[string]int // owned addr -> owned position; shared by all snapshots
 
 	cur atomic.Pointer[ring]
 
-	// Dirty tracking: skip re-copying what did not change.
-	lastState  map[string]uint64                 // node -> eval store StateVersion
-	lastProv   map[string]uint64                 // node -> provenance store version
-	lastTabVer map[string]map[string]uint64      // node -> relation -> table version
-	lastTables map[string]map[string][]rel.Tuple // node -> last frozen tables
-	history    []logstore.Snapshot               // append-only; wrapped via FromSorted
+	// Dirty tracking, parallel to allNodes. The activity counter gates
+	// the scan: a node that processed nothing since the last publish is
+	// skipped without touching its stores; when it did run, the state
+	// and provenance versions decide precisely — versions are minted
+	// only for visible state, so every shard of a deterministic run
+	// still mints the identical dense version sequence.
+	lastActivity []uint64
+	lastState    []uint64
+	lastProv     []uint64
+
+	states  []*nodeState        // parallel to owned; spine copied per publish
+	dirty   []int               // scratch: owned positions to rebuild this publish
+	history []logstore.Snapshot // append-only; wrapped via FromSorted
 }
 
 // DefaultRetain is how many recent snapshot versions a publisher keeps
@@ -232,28 +306,37 @@ func NewShardedPublisher(eng *engine.Engine, retain int, shard ShardSpec) (*Publ
 	if shard.Total < 0 || (shard.Total > 0 && (shard.Index < 0 || shard.Index >= shard.Total)) {
 		return nil, fmt.Errorf("server: bad shard spec %s", shard)
 	}
-	if shard.Total > len(eng.Nodes()) {
-		return nil, fmt.Errorf("server: %d shards over %d nodes leaves empty shards", shard.Total, len(eng.Nodes()))
+	all := eng.Nodes()
+	if shard.Total > len(all) {
+		return nil, fmt.Errorf("server: %d shards over %d nodes leaves empty shards", shard.Total, len(all))
 	}
 	p := &Publisher{
-		eng:        eng,
-		retain:     retain,
-		shard:      shard,
-		owned:      map[string]bool{},
-		lastState:  map[string]uint64{},
-		lastProv:   map[string]uint64{},
-		lastTabVer: map[string]map[string]uint64{},
-		lastTables: map[string]map[string][]rel.Tuple{},
+		eng:          eng,
+		retain:       retain,
+		shard:        shard,
+		allNodes:     all,
+		nodes:        make([]*engine.Node, len(all)),
+		ownedIdx:     make([]int, len(all)),
+		index:        make(map[string]int),
+		lastActivity: make([]uint64, len(all)),
+		lastState:    make([]uint64, len(all)),
+		lastProv:     make([]uint64, len(all)),
 	}
-	for _, addr := range shard.OwnedNodes(eng.Nodes()) {
-		p.owned[addr] = true
-	}
-	for _, addr := range eng.Nodes() {
+	for i, addr := range all {
 		n, _ := eng.Node(addr)
 		if n.Prov == nil {
 			return nil, fmt.Errorf("server: node %s has no provenance store", addr)
 		}
+		p.nodes[i] = n
+		p.ownedIdx[i] = -1
+		if shard.Unsharded() || ShardOf(i, shard.Total) == shard.Index {
+			p.ownedIdx[i] = len(p.owned)
+			p.index[addr] = len(p.owned)
+			p.owned = append(p.owned, addr)
+			p.ownedNodes = append(p.ownedNodes, n)
+		}
 	}
+	p.states = make([]*nodeState, len(p.owned))
 	p.cur.Store(&ring{})
 	p.Publish()
 	eng.SetEpochObserver(func() { p.Publish() })
@@ -314,67 +397,70 @@ func (p *Publisher) Versions() (oldest, newest uint64) {
 // freezing is restricted to owned nodes.
 func (p *Publisher) Publish() *Snapshot {
 	prev := p.cur.Load()
-	all := p.eng.Nodes()
-	changed := len(prev.snaps) == 0
-	for _, addr := range all {
-		n, _ := p.eng.Node(addr)
-		if p.lastState[addr] != n.RT.Store.StateVersion() || p.lastProv[addr] != n.Prov.Version() {
-			changed = true
-			break
+	first := len(prev.snaps) == 0
+
+	// Pass 1 — change scan over the whole network, gated by each node's
+	// activity counter: a node that processed nothing since the last
+	// publish is skipped without touching its stores. For nodes that
+	// did run, the state and provenance versions decide precisely, so
+	// the version-minting rule is unchanged: snapshots advance only
+	// with visible state, identically on every shard.
+	changed := first
+	p.dirty = p.dirty[:0]
+	for i, n := range p.nodes {
+		act := n.Activity()
+		if !first && act == p.lastActivity[i] {
+			continue
+		}
+		p.lastActivity[i] = act
+		sv, pv := n.RT.Store.StateVersion(), n.Prov.Version()
+		if !first && sv == p.lastState[i] && pv == p.lastProv[i] {
+			continue
+		}
+		p.lastState[i], p.lastProv[i] = sv, pv
+		changed = true
+		if oi := p.ownedIdx[i]; oi >= 0 {
+			p.dirty = append(p.dirty, oi)
 		}
 	}
 	if !changed {
 		return prev.snaps[len(prev.snaps)-1]
 	}
 
-	owned := p.shard.OwnedNodes(all)
 	now := p.eng.Net.Now()
-	snap := &Snapshot{
-		Version:  1,
-		Time:     now,
-		Nodes:    owned,
-		AllNodes: all,
-		Shard:    p.shard,
-		Tables:   make(map[string]map[string][]rel.Tuple, len(owned)),
-		Info:     make(map[string]NodeInfo, len(owned)),
-		views:    make(map[string]*provenance.View, len(owned)),
-	}
-	if len(prev.snaps) > 0 {
-		snap.Version = prev.snaps[len(prev.snaps)-1].Version + 1
+	version := uint64(1)
+	if !first {
+		version = prev.snaps[len(prev.snaps)-1].Version + 1
 	}
 
-	for _, addr := range all {
-		n, _ := p.eng.Node(addr)
-		p.lastState[addr] = n.RT.Store.StateVersion()
-		p.lastProv[addr] = n.Prov.Version()
-	}
-
-	views := make(map[string]provquery.PartitionView, len(owned))
-	for _, addr := range owned {
-		n, _ := p.eng.Node(addr)
-		snap.Tables[addr] = p.freezeTables(addr, n)
-		v := n.Prov.View() // cached inside the store while unchanged
-		snap.views[addr] = v
-		views[addr] = v
-
+	// Pass 2 — rebuild only the dirty owned partitions. FreezeAll and
+	// View are persistent handoffs (O(1) per unchanged table, O(dirty
+	// buckets) per provenance partition); every clean node's *nodeState
+	// rides into the new snapshot untouched.
+	states := make([]*nodeState, len(p.states))
+	copy(states, p.states)
+	for _, oi := range p.dirty {
+		addr := p.owned[oi]
+		n := p.ownedNodes[oi]
+		tables, count := n.RT.Store.FreezeAll()
+		view := n.Prov.View()
 		info := NodeInfo{
 			Addr:      addr,
 			Neighbors: p.eng.Net.Neighbors(addr),
-			Prov:      v.Statistics(),
-		}
-		for _, ts := range snap.Tables[addr] {
-			info.Tuples += len(ts)
+			Tuples:    count,
+			Prov:      view.Statistics(),
 		}
 		if sent, _, ok := p.eng.Net.NodeTraffic(addr); ok {
 			info.SentMsgs = sent.Messages
 			info.SentBytes = sent.Bytes
 		}
-		snap.Info[addr] = info
-
+		states[oi] = &nodeState{tables: tables, view: view, info: info}
+		// History rows are sparse: one per state change, carried
+		// forward by At()'s latest-at-or-before semantics.
 		p.history = append(p.history, logstore.Snapshot{
 			Time:        now,
 			Node:        addr,
-			Tables:      snap.Tables[addr],
+			Tables:      tables,
 			ProvEntries: info.Prov.ProvEntries,
 			ExecEntries: info.Prov.ExecEntries,
 			Neighbors:   info.Neighbors,
@@ -382,18 +468,33 @@ func (p *Publisher) Publish() *Snapshot {
 			SentBytes:   info.SentBytes,
 		})
 	}
-	// Trim history to the retention window. Resliced-away prefixes stay
-	// valid inside older snapshots' History stores: appends only ever
-	// write past every published length.
-	if maxLen := p.retain * len(owned); len(p.history) > maxLen {
-		p.history = p.history[len(p.history)-maxLen:]
+	// Traffic can move without state changing anywhere on the node (a
+	// collector shipping snapshots, say): refresh the published counters
+	// of carried-over states with an O(1) compare per node, sharing the
+	// tables and view of the previous state.
+	for oi, st := range states {
+		if sent, _, ok := p.eng.Net.NodeTraffic(p.owned[oi]); ok &&
+			(sent.Messages != st.info.SentMsgs || sent.Bytes != st.info.SentBytes) {
+			info := st.info
+			info.SentMsgs, info.SentBytes = sent.Messages, sent.Bytes
+			states[oi] = &nodeState{tables: st.tables, view: st.view, info: info}
+		}
 	}
-	snap.History = logstore.FromSorted(p.history[:len(p.history):len(p.history)])
-	if p.shard.Unsharded() {
-		snap.query = provquery.NewSnapshotClient(views)
-	} else {
-		snap.query = provquery.NewPartialSnapshotClient(views, all)
+	p.states = states
+	p.trimHistory()
+
+	snap := &Snapshot{
+		Version:  version,
+		Time:     now,
+		Nodes:    p.owned,
+		AllNodes: p.allNodes,
+		Shard:    p.shard,
+		History:  logstore.FromSorted(p.history[:len(p.history):len(p.history)]),
+		states:   states,
+		index:    p.index,
 	}
+	// The snapshot is its own view resolver: no per-publish view map.
+	snap.query = provquery.NewResolverClient(snap)
 	snap.cache = newQueryCache()
 
 	snaps := append(append([]*Snapshot{}, prev.snaps...), snap)
@@ -404,35 +505,39 @@ func (p *Publisher) Publish() *Snapshot {
 	return snap
 }
 
-// freezeTables returns the node's relation -> sorted-tuples map,
-// reusing the previous snapshot's slices (and, when nothing in the
-// node changed, its whole map) for every table whose visibility
-// version is unchanged — persistent-table handoff instead of copying.
-func (p *Publisher) freezeTables(addr string, n *engine.Node) map[string][]rel.Tuple {
-	names := n.RT.Store.TableNames()
-	prevVer := p.lastTabVer[addr]
-	prevTabs := p.lastTables[addr]
-	allSame := prevTabs != nil && len(prevVer) == len(names)
-	ver := make(map[string]uint64, len(names))
-	tables := make(map[string][]rel.Tuple, len(names))
-	for _, name := range names {
-		// TableNames only lists instantiated tables, so Table cannot
-		// fail here — and len(ver) == len(names) holds, which the
-		// allSame handoff depends on.
-		tbl, _ := n.RT.Store.Table(name)
-		v := tbl.Version()
-		ver[name] = v
-		if prevTabs != nil && prevVer[name] == v {
-			tables[name] = prevTabs[name]
-		} else {
-			tables[name] = tbl.Tuples()
-			allSame = false
+// trimHistory bounds the append-only history list. Rows are sparse —
+// only state-changed nodes append — so a plain suffix cut could drop a
+// quiet node's only row. Instead, once the list exceeds twice the
+// retention window, it is rebuilt into a fresh backing array holding
+// the window's suffix plus, for each node absent from that suffix, its
+// latest earlier row (carry-forward, original time order preserved).
+// The fresh array leaves every published snapshot's History intact.
+func (p *Publisher) trimHistory() {
+	maxLen := p.retain * len(p.owned)
+	if len(p.history) <= 2*maxLen {
+		return
+	}
+	cut := len(p.history) - maxLen
+	suffix := p.history[cut:]
+	inSuffix := make(map[string]bool, len(p.owned))
+	for i := range suffix {
+		inSuffix[suffix[i].Node] = true
+	}
+	latest := map[string]int{}
+	for i := 0; i < cut; i++ {
+		if !inSuffix[p.history[i].Node] {
+			latest[p.history[i].Node] = i
 		}
 	}
-	p.lastTabVer[addr] = ver
-	if allSame {
-		return prevTabs
+	keep := make([]int, 0, len(latest))
+	for _, i := range latest {
+		keep = append(keep, i)
 	}
-	p.lastTables[addr] = tables
-	return tables
+	sort.Ints(keep)
+	out := make([]logstore.Snapshot, 0, len(keep)+len(suffix))
+	for _, i := range keep {
+		out = append(out, p.history[i])
+	}
+	out = append(out, suffix...)
+	p.history = out
 }

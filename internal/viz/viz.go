@@ -49,8 +49,8 @@ func TablesView(sn logstore.Snapshot) string {
 	}
 	sort.Strings(rels)
 	for _, r := range rels {
-		fmt.Fprintf(&b, "  table %s (%d tuples)\n", r, len(sn.Tables[r]))
-		for _, t := range sn.Tables[r] {
+		fmt.Fprintf(&b, "  table %s (%d tuples)\n", r, sn.Tables[r].Len())
+		for _, t := range sn.Tables[r].Tuples() {
 			fmt.Fprintf(&b, "    %s\n", t)
 		}
 	}
@@ -172,7 +172,7 @@ func SnapshotSummary(t simnet.Time, view map[string]logstore.Snapshot) string {
 		sn := view[n]
 		total := 0
 		for _, ts := range sn.Tables {
-			total += len(ts)
+			total += ts.Len()
 		}
 		fmt.Fprintf(&b, " %s:%dt/%dp", n, total, sn.ProvEntries)
 	}

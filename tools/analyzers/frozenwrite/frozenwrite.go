@@ -42,6 +42,7 @@ var scope = []string{
 	"repro/internal/provquery",
 	"repro/internal/logstore",
 	"repro/internal/provgraph",
+	"repro/internal/rel",
 }
 
 // frozen is the cross-package registry of published-immutable types.
@@ -52,6 +53,10 @@ var frozen = map[string]bool{
 	"repro/internal/server.ring":     true,
 	"repro/internal/server.NodeInfo": true,
 	"repro/internal/provenance.View": true,
+	// The persistent sorted-table view: chunks are shared with the live
+	// table and with other Frozen versions, so any write through a
+	// Frozen corrupts every version sharing the chunk.
+	"repro/internal/rel.Frozen": true,
 	// logstore.Store is deliberately absent: it is a live collector
 	// (Add mutates it during the run); only the FromSorted handoff
 	// inside a published Snapshot is frozen, and that is enforced by

@@ -11,3 +11,12 @@ func TestFrozenwrite(t *testing.T) {
 	analyzertest.Run(t, "testdata/src/fwfixture",
 		"repro/internal/server/fwfixture", frozenwrite.Analyzer)
 }
+
+// TestFrozenwriteRelFrozen type-checks a mirror of the persistent
+// table view as repro/internal/rel itself, proving the cross-package
+// registry entry flags post-publish writes to rel.Frozen without any
+// doc marker on the type.
+func TestFrozenwriteRelFrozen(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/relfixture",
+		"repro/internal/rel", frozenwrite.Analyzer)
+}
