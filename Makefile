@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench bench-publish serve-smoke scenarios scenarios-slow docs-check ci clean
+.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench bench-publish bench-store serve-smoke scenarios scenarios-slow docs-check ci clean
 
 all: fmt-check vet build test
 
@@ -53,15 +53,18 @@ race:
 	$(GO) test -race ./...
 
 # fuzz gives the hand-written parsers (the provenance query language,
-# NDlog, and the RouteViews table/AS-graph readers) a short
-# native-fuzzing shake, seeded from the test corpora. Override
-# FUZZTIME for longer local hunts. One -fuzz invocation per target:
-# go test rejects a -fuzz pattern matching more than one function.
+# NDlog, the RouteViews table/AS-graph readers, and the snapshot
+# store's segment/record decoders) a short native-fuzzing shake,
+# seeded from the test corpora. Override FUZZTIME for longer local
+# hunts. One -fuzz invocation per target: go test rejects a -fuzz
+# pattern matching more than one function.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/provquery
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/ndlog
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRouteViews$$' -fuzztime $(FUZZTIME) ./internal/routeviews
 	$(GO) test -run '^$$' -fuzz '^FuzzParseASGraph$$' -fuzztime $(FUZZTIME) ./internal/routeviews
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime $(FUZZTIME) ./internal/provstore
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeVersionRecord$$' -fuzztime $(FUZZTIME) ./internal/provstore
 
 # bench sweeps the tracked benchmark suites and records the results as
 # JSON so the performance trajectory is archived over time:
@@ -83,7 +86,10 @@ fuzz:
 #   - BENCH_publish.json: the O(delta) epoch-snapshot publish path
 #     (1/10/100-tuple deltas on the 8-AS trace and a generated
 #     1000-AS graph; allocs/op must track the delta, not the state)
-bench: bench-publish
+#   - BENCH_store.json: the on-disk snapshot store (append with
+#     fsync at delta 1/10/100, cold any-epoch materialization from
+#     sealed segments, recovery over a 10k-epoch log)
+bench: bench-publish bench-store
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 3x . | tee bench_parallel.out
 	$(GO) run ./tools/benchjson < bench_parallel.out > BENCH_parallel.json
 	$(GO) test -run '^$$' -bench 'BenchmarkServeQueries' -benchtime 3x . | tee bench_serve.out
@@ -103,6 +109,13 @@ bench-publish:
 	$(GO) test -run '^$$' -bench 'BenchmarkPublish' -benchtime 20x . | tee bench_publish.out
 	$(GO) run ./tools/benchjson < bench_publish.out > BENCH_publish.json
 	@rm -f bench_publish.out
+
+# bench-store records just the snapshot-store sweep (the cheap one to
+# rerun while touching internal/provstore).
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkStore' -benchtime 20x ./internal/provstore | tee bench_store.out
+	$(GO) run ./tools/benchjson < bench_store.out > BENCH_store.json
+	@rm -f bench_store.out
 
 # serve-smoke boots the nettrailsd daemon on an ephemeral port and
 # drives /healthz and /query end to end (plus the churn/pinned-version

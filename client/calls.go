@@ -128,6 +128,23 @@ func (c *Client) NodesOf(ctx context.Context, tuple string, opts ...CallOption) 
 }
 
 // Count returns the number of alternative derivations of the tuple.
+// HistoryFirst asks the earliest retained version at which the tuple
+// was visible — at its location attribute, or at the explicit at node.
+// It needs a daemon running with a snapshot store (-data); without one
+// the call fails with CodeNoHistory.
+func (c *Client) HistoryFirst(ctx context.Context, tuple, at string) (*HistoryFirst, error) {
+	p := url.Values{}
+	p.Set("tuple", tuple)
+	if at != "" {
+		p.Set("at", at)
+	}
+	var out HistoryFirst
+	if _, err := c.do(ctx, "GET", c.url("/v1/history/first", p), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 func (c *Client) Count(ctx context.Context, tuple string, opts ...CallOption) (*QueryResult, error) {
 	return c.structuredQuery(ctx, "count", tuple, opts)
 }

@@ -80,6 +80,16 @@ type Health struct {
 	TimeUs   int64  `json:"virtualTimeUs"`
 	Nodes    int    `json:"nodes"`
 	Oldest   uint64 `json:"oldestVersion"`
+	// Store is present only when the daemon runs a durable snapshot
+	// store (-data): the oldest version still on disk and the newest
+	// one made durable.
+	Store *StoreHealth `json:"store,omitempty"`
+}
+
+// StoreHealth is the healthz view of a daemon's snapshot store.
+type StoreHealth struct {
+	Oldest  uint64 `json:"oldestVersion"`
+	Durable uint64 `json:"durableVersion"`
 }
 
 // BuildInfo is GET /v1/version: the server binary's build metadata.
@@ -114,6 +124,19 @@ type State struct {
 	TimeUs  int64              `json:"virtualTimeUs"`
 	Node    string             `json:"node"`
 	Tables  map[string][]Tuple `json:"tables"`
+}
+
+// HistoryFirst is GET /v1/history/first: the earliest retained
+// version at which a tuple was visible at a node, answered from the
+// daemon's on-disk snapshot store. When FirstVersion equals Oldest the
+// tuple may have appeared even earlier, in history that retention has
+// already deleted.
+type HistoryFirst struct {
+	Tuple        Tuple  `json:"tuple"`
+	Node         string `json:"node"`
+	FirstVersion uint64 `json:"firstVersion"`
+	TimeUs       int64  `json:"virtualTimeUs"`
+	Oldest       uint64 `json:"oldestVersion"`
 }
 
 // DOT is GET /v1/proof.dot: a Graphviz rendering of a lineage proof.
@@ -170,6 +193,7 @@ const (
 	CodeUnknownEndpoint  = "unknown_endpoint"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeSnapshotEvicted  = "snapshot_evicted"
+	CodeNoHistory        = "no_history"
 	CodeQueryCancelled   = "query_cancelled"
 	CodeQueryTimeout     = "query_timeout"
 	CodeInternal         = "internal_error"

@@ -43,6 +43,7 @@ import (
 	nettrails "repro"
 	"repro/internal/buildinfo"
 	"repro/internal/protocols"
+	"repro/internal/provstore"
 	"repro/internal/server"
 )
 
@@ -90,6 +91,9 @@ func main() {
 	maxNodes := flag.Int("maxnodes", 0, "cap the proof vertices of every served query (0 = uncapped)")
 	timeout := flag.Duration("timeout", 30*time.Second, "server-default deadline for each query's traversal and cap on per-request ?timeout= (0 disables)")
 	shard := flag.String("shard", "", "serve only shard i of N (\"i/N\", 0-based): publish this slice of the provenance partitions and answer wrong_shard for the rest; federate with nettrailsgw")
+	data := flag.String("data", "", "directory for the on-disk snapshot store: every published version persists there, pinned reads of ring-evicted versions fall back to it, and a restart resumes the version sequence (empty disables)")
+	storeRetain := flag.Int("store-retain", 0, "how many newest versions the snapshot store keeps on disk; older segments are deleted whole (0 keeps everything; needs -data)")
+	storeSync := flag.Int("store-sync", 1, "fsync the snapshot store every N appended versions (1 = every version durable before it is served; needs -data)")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *showVersion {
@@ -145,7 +149,24 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	pub, err := server.NewShardedPublisher(sys.Engine, *retain, spec)
+	var store *provstore.Store
+	if *data != "" {
+		all := sys.Engine.Nodes()
+		store, err = provstore.Open(*data, provstore.Options{
+			AllNodes:  all,
+			Owned:     spec.OwnedNodes(all),
+			Shard:     provstore.ShardInfo{Index: spec.Index, Total: spec.Total},
+			Retain:    *storeRetain,
+			SyncEvery: *storeSync,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+	} else if *storeRetain != 0 || *storeSync != 1 {
+		fail("-store-retain/-store-sync need -data")
+	}
+	pub, err := server.NewPublisherWithOptions(sys.Engine,
+		server.PublisherOptions{Retain: *retain, Shard: spec, Store: store})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -167,6 +188,11 @@ func main() {
 	}
 	fmt.Printf("nettrailsd: listening on http://%s (protocol=%s nodes=%d links=%d version=%d%s)\n",
 		ln.Addr(), *protocol, n, len(edges), snap.Version, shardNote)
+	if store != nil {
+		oldest, _ := pub.Versions()
+		fmt.Printf("nettrailsd: snapshot store at %s (versions %d-%d durable)\n",
+			*data, oldest, store.DurableVersion())
+	}
 	if !spec.Unsharded() && *churn > 0 {
 		// Wall-clock churn ticks independently per process, so sibling
 		// shards drift apart and gateway pins degrade to
@@ -228,6 +254,15 @@ func main() {
 		close(stop)
 		<-churnDone
 		pub.Detach()
+		if store != nil {
+			// The simulation thread is stopped; make everything published
+			// durable before the HTTP drain (readers may still hit the
+			// store's mmapped segments until Serve returns, so it is
+			// closed only after the drain below).
+			if err := store.Sync(); err != nil {
+				fmt.Fprintf(os.Stderr, "nettrailsd: store sync: %v\n", err)
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		go func() {
 			<-sigs
@@ -240,6 +275,11 @@ func main() {
 		cancel()
 		if err := <-serveErr; err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
 			fail("%v", err)
+		}
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fail("store close: %v", err)
 		}
 	}
 	fmt.Println("nettrailsd: stopped")

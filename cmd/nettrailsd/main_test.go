@@ -306,6 +306,91 @@ func TestSmokeChurnAdvancesVersionsAndPinnedReadsAgree(t *testing.T) {
 	}
 }
 
+// TestSmokeDataFlag boots the daemon with a durable snapshot store,
+// drives a deep-history query through the SDK, restarts the process on
+// the same directory, and requires the version sequence to resume and
+// the history to survive.
+func TestSmokeDataFlag(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-protocol", "mincost", "-topology", "line", "-nodes", "3",
+		"-churn", "20ms", "-retain", "4", "-data", dir, "-store-sync", "8"}
+	c, cmd, out := startDaemon(t, args...)
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Store == nil {
+		t.Fatalf("health with -data = %+v (store missing)", h)
+	}
+	if !out.contains("snapshot store at") {
+		t.Fatal("daemon did not report its snapshot store on startup")
+	}
+
+	// Deep history: the base link fact exists from the first version.
+	hf, err := c.HistoryFirst(ctx, "link(@'n1','n2',1)", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf.Node != "n1" || hf.FirstVersion == 0 {
+		t.Fatalf("history/first = %+v", hf)
+	}
+
+	// Let churn advance the version chain, then shut down cleanly.
+	deadline := time.Now().Add(30 * time.Second)
+	v := h.Version
+	for v <= h.Version {
+		if time.Now().After(deadline) {
+			t.Fatal("version never advanced under churn")
+		}
+		time.Sleep(20 * time.Millisecond)
+		h2, err := c.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = h2.Version
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-out.eof:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v", err)
+	}
+
+	// Restart over the same directory: the sequence resumes past the
+	// last served version and early history still answers.
+	c2, _, _ := startDaemon(t, args...)
+	h2, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Version <= v {
+		t.Fatalf("restart minted version %d, want > %d", h2.Version, v)
+	}
+	if h2.Store == nil || h2.Store.Oldest != 1 {
+		t.Fatalf("restarted store health = %+v", h2.Store)
+	}
+	hf2, err := c2.HistoryFirst(ctx, "link(@'n1','n2',1)", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf2.FirstVersion != hf.FirstVersion {
+		t.Fatalf("first version drifted across restart: %d vs %d", hf2.FirstVersion, hf.FirstVersion)
+	}
+
+	// Store knobs without -data fail the boot.
+	bin := buildBinary(t)
+	if err := exec.Command(bin, "-store-retain", "5").Run(); err == nil {
+		t.Fatal("-store-retain without -data unexpectedly accepted")
+	}
+}
+
 // TestGracefulShutdown sends SIGTERM to a churning daemon and requires
 // a clean exit: the churn loop stops at an epoch boundary, in-flight
 // queries drain through http.Server.Shutdown, and the process reports

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/provstore"
+	"repro/internal/rel"
+)
+
+func buildStore(t *testing.T, dir string, versions int) {
+	t.Helper()
+	st, err := provstore.Open(dir, provstore.Options{
+		AllNodes:     []string{"n0"},
+		Owned:        []string{"n0"},
+		SealVersions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := rel.NewTable(rel.NewSchema("link", 2))
+	prov := provenance.NewStore("n0")
+	for v := 1; v <= versions; v++ {
+		tp := rel.NewTuple("link", rel.Addr("n0"), rel.Int(int64(v)))
+		tbl.Apply(tp, 1)
+		prov.AddBase(tp)
+		in := provstore.VersionInput{Version: uint64(v), Time: int64(v), States: []provstore.NodeState{{
+			OwnedIdx: 0,
+			Info:     provstore.Info{Tuples: tbl.Len(), Prov: prov.Statistics()},
+			Tables:   map[string]*rel.Frozen{"link": tbl.Freeze()},
+			View:     prov.View(),
+		}}}
+		if err := st.Append(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsckCleanStore(t *testing.T) {
+	dir := t.TempDir()
+	buildStore(t, dir, 11)
+	if code := run(dir, true); code != 0 {
+		t.Fatalf("clean store: exit %d", code)
+	}
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	buildStore(t, dir, 11)
+	// Flip a byte in the middle of the first sealed segment's records.
+	path := filepath.Join(dir, "seg-00000001.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(dir, false); code != 1 {
+		t.Fatalf("corrupt store: exit %d, want 1", code)
+	}
+}
+
+func TestFsckMissingDir(t *testing.T) {
+	// A directory with no manifest and no segments is an empty store.
+	if code := run(t.TempDir(), false); code != 0 {
+		t.Fatal("empty directory should be a clean (empty) store")
+	}
+}

@@ -46,6 +46,7 @@ func main() {
 	maxDepth := flag.Int("maxdepth", 0, "cap the proof depth of every served query (0 = uncapped)")
 	maxNodes := flag.Int("maxnodes", 0, "cap the proof vertices of every served query (0 = uncapped)")
 	timeout := flag.Duration("timeout", 30*time.Second, "server-default deadline for each query's traversal and cap on per-request ?timeout= (0 disables)")
+	requireData := flag.Bool("require-data", false, "refuse to start unless every shard runs a durable snapshot store (-data), so deep-history queries and disk-backed pins work deployment-wide")
 	drain := flag.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight HTTP queries to finish")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
@@ -70,6 +71,25 @@ func main() {
 	if c, err := client.New(urls[0]); err == nil {
 		if h, err := c.Health(ctx); err == nil {
 			protocol = h.Protocol
+		}
+	}
+	if *requireData {
+		// Deep-history guarantees hold only when every shard persists
+		// its slice: a single storeless shard reintroduces
+		// snapshot_evicted for any pin that aged out of its ring.
+		for _, u := range urls {
+			c, err := client.New(u)
+			if err == nil {
+				var h *client.Health
+				if h, err = c.Health(ctx); err == nil && h.Store == nil {
+					cancel()
+					fail("-require-data: shard %s runs without a snapshot store (start it with -data)", u)
+				}
+			}
+			if err != nil {
+				cancel()
+				fail("-require-data: shard %s: %v", u, err)
+			}
 		}
 	}
 

@@ -79,6 +79,44 @@ func TestVersionFlag(t *testing.T) {
 	}
 }
 
+// TestRequireDataFlag: -require-data gates the gateway boot on every
+// shard running a durable snapshot store, so deep-history guarantees
+// hold deployment-wide.
+func TestRequireDataFlag(t *testing.T) {
+	nettrailsd := buildBinary(t, "repro/cmd/nettrailsd", "nettrailsd")
+	nettrailsgw := buildBinary(t, ".", "nettrailsgw")
+
+	// A storeless shard fails the gate before any serving starts.
+	bare := startProcess(t, nettrailsd, "-listen", "127.0.0.1:0",
+		"-protocol", "mincost", "-topology", "line", "-nodes", "3", "-churn", "0")
+	out, err := exec.Command(nettrailsgw, "-peers", bare, "-require-data").CombinedOutput()
+	if err == nil {
+		t.Fatalf("-require-data accepted a storeless shard:\n%s", out)
+	}
+	if !strings.Contains(string(out), "without a snapshot store") {
+		t.Fatalf("-require-data failure does not name the cause: %s", out)
+	}
+
+	// With -data on the shard, the same gate passes and the gateway
+	// serves (and reports the shard's protocol).
+	durable := startProcess(t, nettrailsd, "-listen", "127.0.0.1:0",
+		"-protocol", "mincost", "-topology", "line", "-nodes", "3", "-churn", "0",
+		"-data", t.TempDir())
+	gwURL := startProcess(t, nettrailsgw,
+		"-listen", "127.0.0.1:0", "-peers", durable, "-require-data")
+	c, err := client.New(gwURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Protocol != "mincost" {
+		t.Fatalf("gateway health = %+v", h)
+	}
+}
+
 // TestSmokeShardedDeployment boots a real 3-shard deployment — three
 // nettrailsd processes with -shard i/3 — federates them behind a
 // nettrailsgw process, and drives the full query surface through the

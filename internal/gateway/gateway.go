@@ -160,6 +160,7 @@ func New(ctx context.Context, urls []string, opts ...Option) (*Gateway, error) {
 	g.route("GET", "/v1/shards", g.handleShards)
 	g.route("GET", "/v1/nodes", g.handleNodes)
 	g.route("GET", "/v1/state/{node}", g.handleState)
+	g.route("GET", "/v1/history/first", g.handleHistoryFirst)
 	g.route("POST", "/v1/query", g.handleQuery)
 	g.route("POST", "/v1/query/batch", g.handleQueryBatch)
 	g.route("GET", "/v1/proof.dot", g.handleProofDOT)
@@ -716,6 +717,41 @@ func (g *Gateway) handleState(w http.ResponseWriter, r *http.Request) {
 	}
 	setHops(w, hops)
 	server.WriteJSON(w, http.StatusOK, out)
+}
+
+// handleHistoryFirst routes a deep-history first-version probe to the
+// shard owning the tuple's node and re-renders its answer unchanged —
+// every shard's snapshot store mints the same dense version sequence,
+// so the owning shard's answer is the deployment's answer.
+func (g *Gateway) handleHistoryFirst(w http.ResponseWriter, r *http.Request) {
+	lit := r.URL.Query().Get("tuple")
+	if lit == "" {
+		server.WriteErr(w, http.StatusBadRequest, server.ErrInvalidRequest, "missing ?tuple= literal")
+		return
+	}
+	_, at, err := server.ResolveTupleAt(lit, r.URL.Query().Get("at"))
+	if err != nil {
+		server.WriteErr(w, http.StatusBadRequest, server.ErrInvalidQuery, "%v", err)
+		return
+	}
+	shard, ok := g.table[at]
+	if !ok {
+		server.WriteErr(w, http.StatusNotFound, server.ErrUnknownNode, "unknown node %q", at)
+		return
+	}
+	hf, err := g.clients[shard].HistoryFirst(r.Context(), lit, at)
+	setHops(w, 1)
+	if err != nil {
+		server.WriteAPIError(w, downstreamError(err))
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, server.HistoryFirstJSON{
+		Tuple:         server.TupleJSON{Rel: hf.Tuple.Rel, Vals: hf.Tuple.Vals, Text: hf.Tuple.Text},
+		Node:          hf.Node,
+		FirstVersion:  hf.FirstVersion,
+		TimeUs:        hf.TimeUs,
+		OldestVersion: hf.Oldest,
+	})
 }
 
 // handleQuery is POST /v1/query: the single-daemon request surface,

@@ -1,0 +1,263 @@
+package provenance
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"repro/internal/rel"
+)
+
+// Persistence hooks for View: the provstore serializes a provenance
+// view bucket by bucket (each non-empty bucket becomes one
+// content-addressed blob, so a bucket no mutation touched re-encodes to
+// the identical bytes and is stored once) and reconstructs an
+// equivalent View from those buckets when materializing a historical
+// version from disk. Encodings are deterministic: keys are emitted in
+// ID order, entry lists in their already-deterministic stored order.
+
+// PersistBuckets renders the view's three bucket directories as
+// deterministic per-bucket encodings, parallel to the directory spines.
+// Empty buckets render as nil (canonical absence), so the caller can
+// skip them and a bucket's hash never depends on spine position.
+func (v *View) PersistBuckets() (prov, exec, pins [][]byte) {
+	prov = make([][]byte, len(v.prov.m))
+	for i, m := range v.prov.m {
+		if len(m) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		putUvarint(&buf, uint64(len(m)))
+		for _, vid := range sortedKeys(m) {
+			buf.Write(vid[:])
+			list := m[vid]
+			putUvarint(&buf, uint64(len(list)))
+			for _, e := range list {
+				buf.Write(e.RID[:])
+				putUvarint(&buf, uint64(len(e.RLoc)))
+				buf.WriteString(e.RLoc)
+			}
+		}
+		prov[i] = buf.Bytes()
+	}
+	exec = make([][]byte, len(v.exec.m))
+	for i, m := range v.exec.m {
+		if len(m) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		putUvarint(&buf, uint64(len(m)))
+		for _, rid := range sortedKeys(m) {
+			buf.Write(rid[:])
+			e := m[rid]
+			putUvarint(&buf, uint64(len(e.Rule)))
+			buf.WriteString(e.Rule)
+			putUvarint(&buf, uint64(len(e.VIDs)))
+			for _, vid := range e.VIDs {
+				buf.Write(vid[:])
+			}
+		}
+		exec[i] = buf.Bytes()
+	}
+	pins = make([][]byte, len(v.pins.m))
+	for i, m := range v.pins.m {
+		if len(m) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		putUvarint(&buf, uint64(len(m)))
+		for _, vid := range sortedKeys(m) {
+			buf.Write(vid[:])
+			rel.EncodeTuple(&buf, m[vid])
+		}
+		pins[i] = buf.Bytes()
+	}
+	return prov, exec, pins
+}
+
+// RebuildView reconstructs a View from persisted bucket encodings, as
+// produced by PersistBuckets (nil entries are empty buckets). The spine
+// lengths must be positive powers of two, and every decoded key must
+// hash to the bucket it was stored in — violations mean corrupt or
+// mis-assembled blobs and are rejected. Aggregate statistics are
+// recomputed from the decoded contents.
+func RebuildView(addr string, version uint64, prov, exec, pins [][]byte) (*View, error) {
+	v := &View{addr: addr, version: version}
+	if err := checkSpine("prov", len(prov)); err != nil {
+		return nil, err
+	}
+	if err := checkSpine("exec", len(exec)); err != nil {
+		return nil, err
+	}
+	if err := checkSpine("pins", len(pins)); err != nil {
+		return nil, err
+	}
+	v.prov = buckets[[]Entry]{mask: uint32(len(prov) - 1), m: make([]map[rel.ID][]Entry, len(prov))}
+	for i, enc := range prov {
+		if enc == nil {
+			continue
+		}
+		m, err := decodeBucket(enc, uint32(i), v.prov.mask, func(r *bytes.Reader, vid rel.ID) ([]Entry, error) {
+			n, err := readLen(r, "prov entry count")
+			if err != nil {
+				return nil, err
+			}
+			list := make([]Entry, n)
+			for k := range list {
+				e := Entry{VID: vid}
+				if err := readID(r, &e.RID); err != nil {
+					return nil, err
+				}
+				s, err := readString(r, "prov rloc")
+				if err != nil {
+					return nil, err
+				}
+				e.RLoc = s
+				list[k] = e
+			}
+			return list, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("provenance: rebuild prov bucket %d: %w", i, err)
+		}
+		v.prov.m[i] = m
+		for _, list := range m {
+			v.provEntries += len(list)
+		}
+	}
+	v.exec = buckets[ExecEntry]{mask: uint32(len(exec) - 1), m: make([]map[rel.ID]ExecEntry, len(exec))}
+	for i, enc := range exec {
+		if enc == nil {
+			continue
+		}
+		m, err := decodeBucket(enc, uint32(i), v.exec.mask, func(r *bytes.Reader, rid rel.ID) (ExecEntry, error) {
+			e := ExecEntry{RID: rid}
+			s, err := readString(r, "exec rule")
+			if err != nil {
+				return e, err
+			}
+			e.Rule = s
+			n, err := readLen(r, "exec vid count")
+			if err != nil {
+				return e, err
+			}
+			e.VIDs = make([]rel.ID, n)
+			for k := range e.VIDs {
+				if err := readID(r, &e.VIDs[k]); err != nil {
+					return e, err
+				}
+			}
+			return e, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("provenance: rebuild exec bucket %d: %w", i, err)
+		}
+		v.exec.m[i] = m
+		v.execEntries += len(m)
+	}
+	v.pins = buckets[rel.Tuple]{mask: uint32(len(pins) - 1), m: make([]map[rel.ID]rel.Tuple, len(pins))}
+	for i, enc := range pins {
+		if enc == nil {
+			continue
+		}
+		m, err := decodeBucket(enc, uint32(i), v.pins.mask, func(r *bytes.Reader, vid rel.ID) (rel.Tuple, error) {
+			return rel.DecodeTuple(r)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("provenance: rebuild pins bucket %d: %w", i, err)
+		}
+		v.pins.m[i] = m
+		v.pinEntries += len(m)
+	}
+	return v, nil
+}
+
+func checkSpine(name string, n int) error {
+	if n < 1 || bits.OnesCount(uint(n)) != 1 {
+		return fmt.Errorf("provenance: rebuild view: %s spine length %d is not a positive power of two", name, n)
+	}
+	return nil
+}
+
+// decodeBucket decodes one bucket's key/value pairs, verifying each key
+// hashes into this bucket and that the encoding is fully consumed.
+func decodeBucket[V any](enc []byte, idx, mask uint32, dec func(*bytes.Reader, rel.ID) (V, error)) (map[rel.ID]V, error) {
+	r := bytes.NewReader(enc)
+	n, err := readLen(r, "key count")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("empty bucket encoded non-nil")
+	}
+	m := make(map[rel.ID]V, n)
+	for k := uint64(0); k < n; k++ {
+		var id rel.ID
+		if err := readID(r, &id); err != nil {
+			return nil, err
+		}
+		if bucketIdx(id, mask) != idx {
+			return nil, fmt.Errorf("key %s does not belong in bucket %d", id.Short(), idx)
+		}
+		if _, dup := m[id]; dup {
+			return nil, fmt.Errorf("duplicate key %s", id.Short())
+		}
+		val, err := dec(r, id)
+		if err != nil {
+			return nil, err
+		}
+		m[id] = val
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", r.Len())
+	}
+	return m, nil
+}
+
+func sortedKeys[V any](m map[rel.ID]V) []rel.ID {
+	out := make([]rel.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+func putUvarint(buf *bytes.Buffer, u uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], u)
+	buf.Write(b[:n])
+}
+
+func readLen(r *bytes.Reader, what string) (uint64, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("decode %s: %w", what, err)
+	}
+	if n > uint64(r.Len()) {
+		return 0, fmt.Errorf("decode %s: %d exceeds input", what, n)
+	}
+	return n, nil
+}
+
+func readID(r *bytes.Reader, id *rel.ID) error {
+	if _, err := io.ReadFull(r, id[:]); err != nil {
+		return fmt.Errorf("decode id: %w", err)
+	}
+	return nil
+}
+
+func readString(r *bytes.Reader, what string) (string, error) {
+	n, err := readLen(r, what)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("decode %s: %w", what, err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,130 @@
+package provenance
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/rel"
+)
+
+func persistFixtureView(t *testing.T, n int) *View {
+	t.Helper()
+	s := NewStore("n0")
+	var prev rel.Tuple
+	for i := 0; i < n; i++ {
+		base := rel.NewTuple("link", rel.Addr("n0"), rel.Int(int64(i)))
+		s.AddBase(base)
+		if i > 0 {
+			out := rel.NewTuple("path", rel.Addr("n0"), rel.Int(int64(i)))
+			s.RecordFiring(eval.Firing{
+				RuleName:  "r1",
+				Inputs:    []rel.Tuple{prev, base},
+				Output:    out,
+				OutputLoc: "n0",
+				Sign:      1,
+			})
+		}
+		prev = base
+	}
+	return s.View()
+}
+
+func TestViewPersistRebuildRoundtrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 900} {
+		v := persistFixtureView(t, n)
+		prov, exec, pins := v.PersistBuckets()
+		got, err := RebuildView(v.Addr(), v.Version(), prov, exec, pins)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Addr() != v.Addr() || got.Version() != v.Version() {
+			t.Fatalf("n=%d: identity drift", n)
+		}
+		if got.Statistics() != v.Statistics() {
+			t.Fatalf("n=%d: stats %+v vs %+v", n, got.Statistics(), v.Statistics())
+		}
+		for i := 0; i < n; i++ {
+			base := rel.NewTuple("link", rel.Addr("n0"), rel.Int(int64(i)))
+			wantEnts, wantOK := v.Derivations(base.VID())
+			gotEnts, gotOK := got.Derivations(base.VID())
+			if wantOK != gotOK || len(wantEnts) != len(gotEnts) {
+				t.Fatalf("n=%d: derivations for base %d drifted", n, i)
+			}
+			for j := range wantEnts {
+				if wantEnts[j] != gotEnts[j] {
+					t.Fatalf("n=%d: derivation entry %d/%d drifted", n, i, j)
+				}
+			}
+			wantTp, ok1 := v.TupleOf(base.VID())
+			gotTp, ok2 := got.TupleOf(base.VID())
+			if ok1 != ok2 || (ok1 && !wantTp.Equal(gotTp)) {
+				t.Fatalf("n=%d: pin for base %d drifted", n, i)
+			}
+			if i == 0 {
+				continue
+			}
+			derived := rel.NewTuple("path", rel.Addr("n0"), rel.Int(int64(i)))
+			ents, ok := got.Derivations(derived.VID())
+			if !ok || len(ents) == 0 {
+				t.Fatalf("n=%d: derived tuple %d lost its provenance", n, i)
+			}
+			ex, ok := got.Exec(ents[0].RID)
+			if !ok {
+				t.Fatalf("n=%d: exec row for %d missing", n, i)
+			}
+			wantEx, _ := v.Exec(ents[0].RID)
+			if ex.Rule != wantEx.Rule || len(ex.VIDs) != len(wantEx.VIDs) {
+				t.Fatalf("n=%d: exec row for %d drifted", n, i)
+			}
+			for j := range ex.VIDs {
+				if ex.VIDs[j] != wantEx.VIDs[j] {
+					t.Fatalf("n=%d: exec input %d/%d drifted", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRebuildViewRejectsCorruptBuckets(t *testing.T) {
+	v := persistFixtureView(t, 50)
+	prov, exec, pins := v.PersistBuckets()
+
+	// A non-power-of-two spine is rejected.
+	if _, err := RebuildView("n0", v.Version(), prov[:len(prov)-1], exec, pins); len(prov) > 1 && err == nil {
+		t.Fatal("truncated prov spine accepted")
+	}
+	// A bucket whose entry hashes to a different bucket is rejected:
+	// swap two non-empty prov buckets.
+	a, b := -1, -1
+	for i, bk := range prov {
+		if len(bk) == 0 {
+			continue
+		}
+		if a < 0 {
+			a = i
+		} else if b < 0 {
+			b = i
+			break
+		}
+	}
+	if a >= 0 && b >= 0 {
+		swapped := append([][]byte(nil), prov...)
+		swapped[a], swapped[b] = swapped[b], swapped[a]
+		if _, err := RebuildView("n0", v.Version(), swapped, exec, pins); err == nil {
+			t.Fatal("misplaced bucket entries accepted")
+		}
+	}
+	// Trailing garbage in a bucket is rejected.
+	for i, bk := range prov {
+		if len(bk) == 0 {
+			continue
+		}
+		mangled := append([][]byte(nil), prov...)
+		mangled[i] = append(append([]byte(nil), bk...), 0xFF)
+		if _, err := RebuildView("n0", v.Version(), mangled, exec, pins); err == nil {
+			t.Fatal("trailing bucket bytes accepted")
+		}
+		break
+	}
+
+}

@@ -1,0 +1,173 @@
+package provstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildCrashFixture writes a store with one sealed segment (versions
+// 1-4, SealVersions=4) and an active tail (versions 5-7), then closes
+// it. Returns the directory and the options to reopen it with.
+func buildCrashFixture(t *testing.T, base string) (string, Options) {
+	t.Helper()
+	dir := filepath.Join(base, "orig")
+	opts := testOptions([]string{"n0"}, func(o *Options) { o.SealVersions = 4 })
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newTestNode("n0")
+	for v := uint64(1); v <= 7; v++ {
+		n.add(int(v))
+		if err := st.Append(VersionInput{Version: v, Time: int64(v), States: []NodeState{n.state(0)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, opts
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// verifyRecovered opens the store at dir, checks every retained
+// version materializes with the expected tuple count, then replays the
+// deterministic publish stream past the recovered frontier to prove
+// the store still accepts appends.
+func verifyRecovered(t *testing.T, dir string, opts Options, minLast uint64, label string) {
+	t.Helper()
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", label, err)
+	}
+	last := st.LastVersion()
+	if last < minLast {
+		st.Close()
+		t.Fatalf("%s: recovered last %d < durable floor %d", label, last, minLast)
+	}
+	for v := max(st.OldestVersion(), 1); v <= last; v++ {
+		vd, err := st.Materialize(v)
+		if err != nil {
+			st.Close()
+			t.Fatalf("%s: materialize %d: %v", label, v, err)
+		}
+		if got := vd.Nodes[0].Tables["link"].Len(); got != int(v) {
+			st.Close()
+			t.Fatalf("%s: version %d has %d tuples", label, v, got)
+		}
+	}
+	n := newTestNode("n0")
+	for v := uint64(1); v <= last+1; v++ {
+		n.add(int(v))
+		if v <= last {
+			continue
+		}
+		if err := st.Append(VersionInput{Version: v, Time: int64(v), States: []NodeState{n.state(0)}}); err != nil {
+			st.Close()
+			t.Fatalf("%s: append after recovery: %v", label, err)
+		}
+	}
+	if st.LastVersion() != last+1 {
+		st.Close()
+		t.Fatalf("%s: append after recovery did not advance", label)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("%s: close: %v", label, err)
+	}
+}
+
+// TestStoreCrashAtEveryActiveOffset kills the write stream at every
+// byte offset of the unsealed tail segment and proves recovery: the
+// store opens, serves everything at or below the recovered frontier,
+// and keeps accepting appends. Versions 1-4 live in a sealed,
+// manifest-registered segment, so they must survive every cut.
+func TestStoreCrashAtEveryActiveOffset(t *testing.T) {
+	base := t.TempDir()
+	dir, opts := buildCrashFixture(t, base)
+	active, err := os.ReadFile(filepath.Join(dir, segmentName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(active); cut++ {
+		cdir := filepath.Join(base, fmt.Sprintf("cut-%d", cut))
+		copyDir(t, dir, cdir)
+		if err := os.WriteFile(filepath.Join(cdir, segmentName(2)), active[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		verifyRecovered(t, cdir, opts, 4, fmt.Sprintf("active cut %d/%d", cut, len(active)))
+		os.RemoveAll(cdir)
+	}
+}
+
+// TestStoreCrashBeforeManifestAdoptsSealedTail simulates a crash in
+// the seal path after the index record was fsynced but before the
+// manifest write landed: the manifest does not mention the segment,
+// yet the segment ends in a valid seal record. Recovery must adopt it
+// as sealed. Cuts strictly inside the file exercise the fallback of
+// reopening it as a truncated active segment.
+func TestStoreCrashBeforeManifestAdoptsSealedTail(t *testing.T) {
+	base := t.TempDir()
+	dir, opts := buildCrashFixture(t, base)
+	sealed, err := os.ReadFile(filepath.Join(dir, segmentName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(sealed); cut++ {
+		cdir := filepath.Join(base, fmt.Sprintf("seal-cut-%d", cut))
+		// Crash point: seg-1 fully or partially written, no manifest,
+		// no successor segment yet.
+		if err := os.MkdirAll(cdir, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cdir, segmentName(1)), sealed[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		verifyRecovered(t, cdir, opts, 0, fmt.Sprintf("seal cut %d/%d", cut, len(sealed)))
+		os.RemoveAll(cdir)
+	}
+
+	// The full-file case must have been adopted as a sealed segment,
+	// not merely replayed: reopen one more time and check durability.
+	cdir := filepath.Join(base, "seal-full")
+	if err := os.MkdirAll(cdir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cdir, segmentName(1)), sealed, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(cdir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.LastVersion() != 4 || st.DurableVersion() != 4 {
+		t.Fatalf("adopted tail: last=%d durable=%d, want 4/4", st.LastVersion(), st.DurableVersion())
+	}
+	st.mu.RLock()
+	nSealed := len(st.sealed)
+	st.mu.RUnlock()
+	if nSealed != 1 {
+		t.Fatalf("adopted tail: %d sealed segments, want 1", nSealed)
+	}
+}

@@ -1,0 +1,622 @@
+// Package provstore is the durable tier under the serving stack: a
+// log-structured, append-only store of published epoch snapshots. Each
+// publish appends one version record — a per-node delta against its
+// parent that references content-addressed blobs (table chunk runs,
+// provenance view buckets) by hash, so state that did not change
+// between epochs is stored exactly once. Segments seal with a succinct
+// trie index (trie.go) over blob hashes, version numbers, and
+// first-seen tuple keys; sealed segments are mmap'd and read lock-free,
+// and every record carries a CRC so recovery can truncate a torn tail
+// and cold-start the daemon back to its full history.
+package provstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/provenance"
+	"repro/internal/rel"
+)
+
+// Segment files open with this magic; records follow immediately.
+const segmentMagic = "NTPS"
+
+// formatVersion is the on-disk format generation, stored in every
+// segment header; readers reject generations they do not know.
+const formatVersion = 1
+
+// Record types. Every record is framed as
+//
+//	[type byte][uvarint payload length][payload][crc32-IEEE]
+//
+// with the CRC covering everything before it (type, length, payload),
+// so a scan can both delimit and verify records without trusting any
+// other state.
+const (
+	recHeader  = 'H' // first record of every segment: format + deployment identity
+	recBlob    = 'B' // content-addressed payload; its hash is rel.HashBytes(payload)
+	recVersion = 'V' // one published version's delta
+	recIndex   = 'I' // seal record: the segment's three marshaled tries
+)
+
+// maxRecordPayload bounds a single record so a corrupt length cannot
+// drive a scan into allocating unbounded memory.
+const maxRecordPayload = 1 << 30
+
+var crcTable = crc32.IEEETable
+
+// appendRecord appends one framed record to buf.
+func appendRecord(buf []byte, typ byte, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, typ)
+	var lb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lb[:], uint64(len(payload)))
+	buf = append(buf, lb[:n]...)
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[start:], crcTable)
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], crc)
+	return append(buf, cb[:]...)
+}
+
+// errTorn marks an incomplete or CRC-failing record at the end of a
+// scan — recoverable in the active segment (truncate), fatal in a
+// sealed one.
+var errTorn = fmt.Errorf("provstore: torn or corrupt record")
+
+// readRecord decodes the record starting at off in data. It returns
+// errTorn when the bytes at off do not hold one complete, CRC-valid
+// record. The returned payload aliases data.
+func readRecord(data []byte, off int64) (typ byte, payload []byte, next int64, err error) {
+	if off < 0 || off >= int64(len(data)) {
+		return 0, nil, 0, errTorn
+	}
+	rest := data[off:]
+	typ = rest[0]
+	plen, n := binary.Uvarint(rest[1:])
+	if n <= 0 || plen > maxRecordPayload {
+		return 0, nil, 0, errTorn
+	}
+	hdrLen := 1 + int64(n)
+	total := hdrLen + int64(plen) + 4
+	if int64(len(rest)) < total {
+		return 0, nil, 0, errTorn
+	}
+	body := rest[:hdrLen+int64(plen)]
+	want := binary.LittleEndian.Uint32(rest[hdrLen+int64(plen):][:4])
+	if crc32.Checksum(body, crcTable) != want {
+		return 0, nil, 0, errTorn
+	}
+	return typ, body[hdrLen:], off + total, nil
+}
+
+// header identifies a segment: the format generation, the segment's
+// sequence number, and the deployment slice it belongs to. A store
+// refuses to open segments whose identity disagrees with its options —
+// mixing shards' stores is data corruption waiting to happen.
+type header struct {
+	format   uint64
+	seq      uint64
+	shardIdx int
+	shardN   int
+	allNodes []string
+	owned    []string
+}
+
+func (h *header) marshal() []byte {
+	var buf bytes.Buffer
+	writeUvarint(&buf, h.format)
+	writeUvarint(&buf, h.seq)
+	writeUvarint(&buf, uint64(h.shardIdx))
+	writeUvarint(&buf, uint64(h.shardN))
+	writeStrings(&buf, h.allNodes)
+	writeStrings(&buf, h.owned)
+	return buf.Bytes()
+}
+
+func unmarshalHeader(payload []byte) (*header, error) {
+	r := bytes.NewReader(payload)
+	h := &header{}
+	var err error
+	if h.format, err = readUvarint(r, "format"); err != nil {
+		return nil, err
+	}
+	if h.format != formatVersion {
+		return nil, fmt.Errorf("provstore: segment format %d, this build reads %d", h.format, formatVersion)
+	}
+	if h.seq, err = readUvarint(r, "seq"); err != nil {
+		return nil, err
+	}
+	if h.shardIdx, err = readInt(r, "shard index"); err != nil {
+		return nil, err
+	}
+	if h.shardN, err = readInt(r, "shard total"); err != nil {
+		return nil, err
+	}
+	if h.allNodes, err = readStrings(r, "all nodes"); err != nil {
+		return nil, err
+	}
+	if h.owned, err = readStrings(r, "owned nodes"); err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("provstore: header has %d trailing bytes", r.Len())
+	}
+	return h, nil
+}
+
+// Info is the published per-node metadata a version record carries —
+// the provstore's mirror of the server's NodeInfo, minus the address
+// (implied by the owned-node index).
+type Info struct {
+	Neighbors []string
+	Tuples    int
+	Prov      provenance.Stats
+	SentMsgs  int
+	SentBytes int
+}
+
+func encodeInfo(buf *bytes.Buffer, info Info) {
+	writeStrings(buf, info.Neighbors)
+	writeUvarint(buf, uint64(info.Tuples))
+	writeUvarint(buf, uint64(info.Prov.ProvEntries))
+	writeUvarint(buf, uint64(info.Prov.ExecEntries))
+	writeUvarint(buf, uint64(info.Prov.Pins))
+	writeUvarint(buf, uint64(info.SentMsgs))
+	writeUvarint(buf, uint64(info.SentBytes))
+}
+
+func decodeInfo(r *bytes.Reader) (Info, error) {
+	var info Info
+	var err error
+	if info.Neighbors, err = readStrings(r, "neighbors"); err != nil {
+		return info, err
+	}
+	fields := []*int{&info.Tuples, &info.Prov.ProvEntries, &info.Prov.ExecEntries,
+		&info.Prov.Pins, &info.SentMsgs, &info.SentBytes}
+	for _, f := range fields {
+		if *f, err = readInt(r, "info counter"); err != nil {
+			return info, err
+		}
+	}
+	return info, nil
+}
+
+// tableEntry is one frozen table inside a state entry: its version and
+// the hashes of its chunk-run blobs, in spine order.
+type tableEntry struct {
+	name    string
+	version uint64
+	chunks  []rel.ID
+}
+
+// blobRef is one provenance-view bucket slot: absent (empty bucket) or
+// the hash of the bucket's blob.
+type blobRef struct {
+	present bool
+	hash    rel.ID
+}
+
+// viewEntry is one node's provenance view inside a state entry.
+type viewEntry struct {
+	version uint64
+	prov    []blobRef
+	exec    []blobRef
+	pins    []blobRef
+}
+
+// stateEntry is one dirty node's full delta in a version record. The
+// chunk/bucket hashes make it self-contained: materializing it needs
+// only the referenced blobs, not any earlier record.
+type stateEntry struct {
+	ownedIdx  int
+	info      Info
+	tables    []tableEntry
+	view      viewEntry
+	firstSeen []rel.ID // VIDs of tuples first visible at this version
+}
+
+// infoEntry refreshes a carried node's traffic counters without
+// re-recording its state.
+type infoEntry struct {
+	ownedIdx int
+	info     Info
+}
+
+// versionRecord is one published version: the per-owned-node resolution
+// vectors (which record holds each node's state/info) plus the entries
+// for the nodes that changed.
+type versionRecord struct {
+	version  uint64
+	time     int64
+	minState uint64 // min over stateVers: the oldest record this version depends on
+	// stateVers[i]/infoVers[i] name the version whose record carries
+	// owned node i's state/info entry; both are ≤ version and the
+	// node's sequence of either is nondecreasing across versions.
+	stateVers []uint64
+	infoVers  []uint64
+	states    []stateEntry
+	infos     []infoEntry
+}
+
+func (vr *versionRecord) marshal() []byte {
+	var buf bytes.Buffer
+	writeUvarint(&buf, vr.version)
+	writeUvarint(&buf, uint64(vr.time))
+	writeUvarint(&buf, vr.minState)
+	for _, sv := range vr.stateVers {
+		writeUvarint(&buf, vr.version-sv)
+	}
+	for _, iv := range vr.infoVers {
+		writeUvarint(&buf, vr.version-iv)
+	}
+	writeUvarint(&buf, uint64(len(vr.states)))
+	for _, se := range vr.states {
+		writeUvarint(&buf, uint64(se.ownedIdx))
+		encodeInfo(&buf, se.info)
+		writeUvarint(&buf, uint64(len(se.tables)))
+		for _, te := range se.tables {
+			writeString(&buf, te.name)
+			writeUvarint(&buf, te.version)
+			writeUvarint(&buf, uint64(len(te.chunks)))
+			for _, h := range te.chunks {
+				buf.Write(h[:])
+			}
+		}
+		writeUvarint(&buf, se.view.version)
+		for _, spine := range [][]blobRef{se.view.prov, se.view.exec, se.view.pins} {
+			writeUvarint(&buf, uint64(len(spine)))
+			for _, ref := range spine {
+				if ref.present {
+					buf.WriteByte(1)
+					buf.Write(ref.hash[:])
+				} else {
+					buf.WriteByte(0)
+				}
+			}
+		}
+		writeUvarint(&buf, uint64(len(se.firstSeen)))
+		for _, vid := range se.firstSeen {
+			buf.Write(vid[:])
+		}
+	}
+	writeUvarint(&buf, uint64(len(vr.infos)))
+	for _, ie := range vr.infos {
+		writeUvarint(&buf, uint64(ie.ownedIdx))
+		encodeInfo(&buf, ie.info)
+	}
+	return buf.Bytes()
+}
+
+// unmarshalVersionRecord decodes and validates one version record.
+// nOwned is the deployment's owned-node count from the segment header;
+// every index and resolution vector is checked against it so a corrupt
+// record fails decode instead of panicking a materialization.
+func unmarshalVersionRecord(payload []byte, nOwned int) (*versionRecord, error) {
+	r := bytes.NewReader(payload)
+	vr := &versionRecord{}
+	var err error
+	if vr.version, err = readUvarint(r, "version"); err != nil {
+		return nil, err
+	}
+	if vr.version == 0 {
+		return nil, fmt.Errorf("provstore: version record for version 0")
+	}
+	t, err := readUvarint(r, "time")
+	if err != nil {
+		return nil, err
+	}
+	if t > math.MaxInt64 {
+		return nil, fmt.Errorf("provstore: version %d time overflows", vr.version)
+	}
+	vr.time = int64(t)
+	if vr.minState, err = readUvarint(r, "min state version"); err != nil {
+		return nil, err
+	}
+	vr.stateVers = make([]uint64, nOwned)
+	vr.infoVers = make([]uint64, nOwned)
+	minState := vr.version
+	for i := range vr.stateVers {
+		d, err := readUvarint(r, "state version delta")
+		if err != nil {
+			return nil, err
+		}
+		if d >= vr.version {
+			return nil, fmt.Errorf("provstore: version %d: state delta %d underflows", vr.version, d)
+		}
+		vr.stateVers[i] = vr.version - d
+		if vr.stateVers[i] < minState {
+			minState = vr.stateVers[i]
+		}
+	}
+	for i := range vr.infoVers {
+		d, err := readUvarint(r, "info version delta")
+		if err != nil {
+			return nil, err
+		}
+		if d >= vr.version {
+			return nil, fmt.Errorf("provstore: version %d: info delta %d underflows", vr.version, d)
+		}
+		vr.infoVers[i] = vr.version - d
+		if vr.infoVers[i] < vr.stateVers[i] {
+			return nil, fmt.Errorf("provstore: version %d: node %d info version %d behind state version %d",
+				vr.version, i, vr.infoVers[i], vr.stateVers[i])
+		}
+	}
+	if vr.minState != minState {
+		return nil, fmt.Errorf("provstore: version %d: stored min state version %d, computed %d",
+			vr.version, vr.minState, minState)
+	}
+	ns, err := readCount(r, "state entry count", nOwned)
+	if err != nil {
+		return nil, err
+	}
+	vr.states = make([]stateEntry, ns)
+	seen := make(map[int]bool, ns)
+	for i := range vr.states {
+		se := &vr.states[i]
+		if se.ownedIdx, err = readInt(r, "state owned index"); err != nil {
+			return nil, err
+		}
+		if se.ownedIdx >= nOwned || seen[se.ownedIdx] {
+			return nil, fmt.Errorf("provstore: version %d: bad state entry index %d", vr.version, se.ownedIdx)
+		}
+		seen[se.ownedIdx] = true
+		if vr.stateVers[se.ownedIdx] != vr.version {
+			return nil, fmt.Errorf("provstore: version %d: state entry for node %d but vector points at %d",
+				vr.version, se.ownedIdx, vr.stateVers[se.ownedIdx])
+		}
+		if se.info, err = decodeInfo(r); err != nil {
+			return nil, err
+		}
+		nt, err := readCount(r, "table count", maxRecordPayload)
+		if err != nil {
+			return nil, err
+		}
+		se.tables = make([]tableEntry, nt)
+		for ti := range se.tables {
+			te := &se.tables[ti]
+			if te.name, err = readString(r, "table name"); err != nil {
+				return nil, err
+			}
+			if ti > 0 && se.tables[ti-1].name >= te.name {
+				return nil, fmt.Errorf("provstore: version %d: tables out of order", vr.version)
+			}
+			if te.version, err = readUvarint(r, "table version"); err != nil {
+				return nil, err
+			}
+			nc, err := readCount(r, "chunk count", maxRecordPayload/20)
+			if err != nil {
+				return nil, err
+			}
+			te.chunks = make([]rel.ID, nc)
+			for ci := range te.chunks {
+				if err = readID(r, &te.chunks[ci]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if se.view.version, err = readUvarint(r, "view version"); err != nil {
+			return nil, err
+		}
+		for _, spine := range []*[]blobRef{&se.view.prov, &se.view.exec, &se.view.pins} {
+			nb, err := readCount(r, "bucket count", maxRecordPayload/21)
+			if err != nil {
+				return nil, err
+			}
+			refs := make([]blobRef, nb)
+			for bi := range refs {
+				p, err := r.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("provstore: bucket presence: %w", err)
+				}
+				switch p {
+				case 0:
+				case 1:
+					refs[bi].present = true
+					if err = readID(r, &refs[bi].hash); err != nil {
+						return nil, err
+					}
+				default:
+					return nil, fmt.Errorf("provstore: bucket presence byte %d", p)
+				}
+			}
+			*spine = refs
+		}
+		nf, err := readCount(r, "first-seen count", maxRecordPayload/20)
+		if err != nil {
+			return nil, err
+		}
+		se.firstSeen = make([]rel.ID, nf)
+		for fi := range se.firstSeen {
+			if err = readID(r, &se.firstSeen[fi]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ni, err := readCount(r, "info entry count", nOwned)
+	if err != nil {
+		return nil, err
+	}
+	vr.infos = make([]infoEntry, ni)
+	for i := range vr.infos {
+		ie := &vr.infos[i]
+		if ie.ownedIdx, err = readInt(r, "info owned index"); err != nil {
+			return nil, err
+		}
+		if ie.ownedIdx >= nOwned || seen[ie.ownedIdx] {
+			return nil, fmt.Errorf("provstore: version %d: bad info entry index %d", vr.version, ie.ownedIdx)
+		}
+		seen[ie.ownedIdx] = true
+		if vr.infoVers[ie.ownedIdx] != vr.version {
+			return nil, fmt.Errorf("provstore: version %d: info entry for node %d but vector points at %d",
+				vr.version, ie.ownedIdx, vr.infoVers[ie.ownedIdx])
+		}
+		if ie.info, err = decodeInfo(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("provstore: version record has %d trailing bytes", r.Len())
+	}
+	return vr, nil
+}
+
+// stateFor returns the state entry for an owned index, which the
+// caller has resolved to this record via stateVers.
+func (vr *versionRecord) stateFor(ownedIdx int) (*stateEntry, bool) {
+	for i := range vr.states {
+		if vr.states[i].ownedIdx == ownedIdx {
+			return &vr.states[i], true
+		}
+	}
+	return nil, false
+}
+
+// infoFor returns the effective info for an owned index, from either
+// entry list.
+func (vr *versionRecord) infoFor(ownedIdx int) (Info, bool) {
+	if se, ok := vr.stateFor(ownedIdx); ok {
+		return se.info, true
+	}
+	for i := range vr.infos {
+		if vr.infos[i].ownedIdx == ownedIdx {
+			return vr.infos[i].info, true
+		}
+	}
+	return Info{}, false
+}
+
+// versionKey renders a version number as its fixed-width big-endian
+// trie key, so version keys sort numerically.
+func versionKey(v uint64) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], v)
+	return k[:]
+}
+
+// firstSeenKey renders a (node, tuple-hash) pair as its trie key. The
+// address cannot contain NUL (engine addresses are hostnames), so the
+// separator keeps the key set prefix-free.
+func firstSeenKey(addr string, vid rel.ID) string {
+	return addr + "\x00" + string(vid[:])
+}
+
+// encodeChunkBlob renders one frozen-table chunk run as a blob.
+func encodeChunkBlob(run []rel.Tuple) []byte {
+	var buf bytes.Buffer
+	writeUvarint(&buf, uint64(len(run)))
+	for _, t := range run {
+		rel.EncodeTuple(&buf, t)
+	}
+	return buf.Bytes()
+}
+
+// decodeChunkBlob decodes one chunk-run blob.
+func decodeChunkBlob(b []byte) ([]rel.Tuple, error) {
+	r := bytes.NewReader(b)
+	n, err := readCount(r, "chunk tuple count", maxRecordPayload)
+	if err != nil {
+		return nil, err
+	}
+	run := make([]rel.Tuple, n)
+	for i := range run {
+		if run[i], err = rel.DecodeTuple(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("provstore: chunk blob has %d trailing bytes", r.Len())
+	}
+	return run, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, u uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], u)
+	buf.Write(b[:n])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func writeStrings(buf *bytes.Buffer, ss []string) {
+	writeUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		writeString(buf, s)
+	}
+}
+
+func readUvarint(r *bytes.Reader, what string) (uint64, error) {
+	u, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("provstore: decode %s: %w", what, err)
+	}
+	return u, nil
+}
+
+// readCount reads a uvarint bounded by both the remaining input and an
+// explicit cap, for prefix-sizing allocations safely.
+func readCount(r *bytes.Reader, what string, max int) (int, error) {
+	u, err := readUvarint(r, what)
+	if err != nil {
+		return 0, err
+	}
+	if u > uint64(r.Len()) || u > uint64(max) {
+		return 0, fmt.Errorf("provstore: decode %s: %d exceeds input", what, u)
+	}
+	return int(u), nil
+}
+
+func readInt(r *bytes.Reader, what string) (int, error) {
+	u, err := readUvarint(r, what)
+	if err != nil {
+		return 0, err
+	}
+	if u > math.MaxInt32 {
+		return 0, fmt.Errorf("provstore: decode %s: %d out of range", what, u)
+	}
+	return int(u), nil
+}
+
+func readID(r *bytes.Reader, id *rel.ID) error {
+	if _, err := io.ReadFull(r, id[:]); err != nil {
+		return fmt.Errorf("provstore: decode id: %w", err)
+	}
+	return nil
+}
+
+func readString(r *bytes.Reader, what string) (string, error) {
+	n, err := readCount(r, what, maxRecordPayload)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("provstore: decode %s: %w", what, err)
+	}
+	return string(b), nil
+}
+
+func readStrings(r *bytes.Reader, what string) ([]string, error) {
+	n, err := readCount(r, what, maxRecordPayload)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = readString(r, what); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

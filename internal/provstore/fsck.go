@@ -1,0 +1,362 @@
+package provstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/rel"
+)
+
+// Report is the outcome of an offline store check. Problems holds one
+// line per integrity violation; a store with an empty Problems list is
+// safe to open and serves every version in [FirstVersion, LastVersion].
+type Report struct {
+	SealedSegments int
+	ActiveSegments int
+	Records        int
+	Blobs          int
+	// OrphanBlobs counts stored blobs no retained version record
+	// references. Orphans are wasted space, not corruption: retention
+	// deletes whole segments, so a blob can outlive its last referent.
+	OrphanBlobs int
+	// TornTailBytes is the length of the incomplete record tail of the
+	// active segment — the bytes recovery would truncate.
+	TornTailBytes int64
+	FirstVersion  uint64
+	LastVersion   uint64
+	Problems      []string
+}
+
+// Ok reports whether the check found no integrity violations.
+func (r *Report) Ok() bool { return len(r.Problems) == 0 }
+
+func (r *Report) problemf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// fsckState accumulates cross-segment facts while segments are
+// scanned oldest-first.
+type fsckState struct {
+	rep     *Report
+	w       io.Writer
+	verbose bool
+
+	blobSeen map[rel.ID]string // hash -> segment holding it
+	blobUsed map[rel.ID]bool
+	nOwned   int
+	lastVer  uint64   // newest version seen so far (0 before the first)
+	lastSV   []uint64 // stateVers of the newest record
+	lastIV   []uint64
+}
+
+func (fs *fsckState) logf(format string, args ...any) {
+	if fs.verbose && fs.w != nil {
+		fmt.Fprintf(fs.w, format+"\n", args...)
+	}
+}
+
+// Fsck verifies the provstore at dir without opening it for writing:
+// manifest shape, per-segment CRC and index integrity, the dense
+// version chain with its resolution-vector invariants, blob
+// resolvability, and the active segment's recoverable tail. Progress
+// and per-segment detail go to w when verbose. The returned error
+// covers I/O failures only; integrity violations land in
+// Report.Problems.
+func Fsck(dir string, w io.Writer, verbose bool) (*Report, error) {
+	rep := &Report{}
+	fs := &fsckState{
+		rep: rep, w: w, verbose: verbose,
+		blobSeen: map[rel.ID]string{},
+		blobUsed: map[rel.ID]bool{},
+	}
+	shardIdx, shardN, entries, err := readManifest(dir)
+	if err != nil {
+		rep.problemf("manifest: %v", err)
+		return rep, nil
+	}
+	fs.logf("manifest: shard %d/%d, %d sealed segments", shardIdx, shardN, len(entries))
+
+	maxSeq := uint64(0)
+	for _, e := range entries {
+		maxSeq = e.seq
+		seg, err := openSealedSegment(dir, e)
+		if err != nil {
+			rep.problemf("%s: %v", e.name, err)
+			continue
+		}
+		rep.SealedSegments++
+		fs.checkSealed(seg, e)
+		seg.close()
+	}
+
+	// Unknown files are crash debris recovery would delete; report them.
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, e := range entries {
+		known[e.name] = true
+	}
+	tailName := segmentName(maxSeq + 1)
+	for _, path := range names {
+		base := filepath.Base(path)
+		if known[base] {
+			continue
+		}
+		if base != tailName {
+			fs.logf("%s: not in manifest and not the tail (crash debris)", base)
+			continue
+		}
+		fs.checkActive(path, maxSeq+1)
+	}
+
+	// Blobs nothing references are orphans.
+	for h := range fs.blobSeen {
+		if !fs.blobUsed[h] {
+			rep.OrphanBlobs++
+		}
+	}
+	rep.LastVersion = fs.lastVer
+	return rep, nil
+}
+
+// checkSealed fully scans one sealed segment: every record CRC, both
+// directions of each trie, and the version chain.
+func (fs *fsckState) checkSealed(seg *sealedSegment, e manifestEntry) {
+	rep := fs.rep
+	fs.nOwned = len(seg.hdr.owned)
+	fs.logf("%s: versions %d-%d, %d bytes", seg.name, e.first, e.last, e.size)
+
+	blobOffs := map[rel.ID]int64{}
+	verOffs := map[uint64]int64{}
+	firstSeen := map[string]uint64{}
+	off := int64(len(segmentMagic))
+	_, _, next, err := readRecord(seg.data, off)
+	if err != nil {
+		rep.problemf("%s: header unreadable", seg.name)
+		return
+	}
+	off = next
+	for off < seg.indexOff {
+		typ, payload, next, err := readRecord(seg.data, off)
+		if err != nil {
+			rep.problemf("%s: corrupt record at offset %d", seg.name, off)
+			return
+		}
+		rep.Records++
+		switch typ {
+		case recBlob:
+			rep.Blobs++
+			h := rel.HashBytes(payload)
+			blobOffs[h] = off
+			fs.blobSeen[h] = seg.name
+		case recVersion:
+			vr, err := unmarshalVersionRecord(payload, fs.nOwned)
+			if err != nil {
+				rep.problemf("%s: version record at %d: %v", seg.name, off, err)
+				return
+			}
+			verOffs[vr.version] = off
+			fs.checkVersion(seg.name, vr)
+			fs.noteFirstSeen(vr, seg.hdr.owned, firstSeen)
+		default:
+			rep.problemf("%s: unexpected record type %q at %d", seg.name, typ, off)
+			return
+		}
+		off = next
+	}
+	if off != seg.indexOff {
+		rep.problemf("%s: record scan ended at %d, index record at %d", seg.name, off, seg.indexOff)
+	}
+
+	// Trie ↔ scan agreement, both directions.
+	fs.checkTrie(seg.name, "blob", seg.blobs, len(blobOffs), func(key []byte, val uint64) error {
+		var h rel.ID
+		if len(key) != len(h) {
+			return fmt.Errorf("key length %d", len(key))
+		}
+		copy(h[:], key)
+		want, ok := blobOffs[h]
+		if !ok || want != int64(val) {
+			return fmt.Errorf("blob %x not at scanned offset", key)
+		}
+		return nil
+	})
+	fs.checkTrie(seg.name, "version", seg.versions, len(verOffs), func(key []byte, val uint64) error {
+		if len(key) != 8 {
+			return fmt.Errorf("key length %d", len(key))
+		}
+		want, ok := verOffs[versionOfKey(key)]
+		if !ok || want != int64(val) {
+			return fmt.Errorf("version %d not at scanned offset", versionOfKey(key))
+		}
+		return nil
+	})
+	fs.checkTrie(seg.name, "first-seen", seg.firstSeen, len(firstSeen), func(key []byte, val uint64) error {
+		want, ok := firstSeen[string(key)]
+		if !ok || want != val {
+			return fmt.Errorf("first-seen entry disagrees with scan")
+		}
+		return nil
+	})
+	if e.first != 0 {
+		if _, ok := verOffs[e.first]; !ok {
+			rep.problemf("%s: manifest first version %d not in segment", seg.name, e.first)
+		}
+		if _, ok := verOffs[e.last]; !ok {
+			rep.problemf("%s: manifest last version %d not in segment", seg.name, e.last)
+		}
+	}
+}
+
+// checkTrie walks a segment trie and validates every entry against the
+// scan, plus the entry count (the walk side proves every scanned key
+// is present because the counts match and walk keys all verified).
+func (fs *fsckState) checkTrie(segName, trieName string, tr *Trie, wantLen int, check func(key []byte, val uint64) error) {
+	if tr.Len() != wantLen {
+		fs.rep.problemf("%s: %s trie has %d entries, scan found %d", segName, trieName, tr.Len(), wantLen)
+	}
+	err := tr.Walk(func(key []byte, val uint64) error {
+		if _, ok := tr.Get(key); !ok {
+			return fmt.Errorf("walked key fails point lookup")
+		}
+		return check(key, val)
+	})
+	if err != nil {
+		fs.rep.problemf("%s: %s trie: %v", segName, trieName, err)
+	}
+}
+
+// checkVersion validates one version record against the running chain:
+// dense sequence, nondecreasing resolution vectors, minState, and
+// every referenced blob already stored.
+func (fs *fsckState) checkVersion(segName string, vr *versionRecord) {
+	rep := fs.rep
+	if fs.lastVer == 0 {
+		rep.FirstVersion = vr.version
+	} else if vr.version != fs.lastVer+1 {
+		rep.problemf("%s: version %d follows %d (chain not dense)", segName, vr.version, fs.lastVer)
+	}
+	for i := range vr.stateVers {
+		if fs.lastSV != nil && vr.stateVers[i] < fs.lastSV[i] {
+			rep.problemf("%s: version %d: node %d state resolution went backwards (%d after %d)",
+				segName, vr.version, i, vr.stateVers[i], fs.lastSV[i])
+		}
+		if fs.lastIV != nil && vr.infoVers[i] < fs.lastIV[i] {
+			rep.problemf("%s: version %d: node %d info resolution went backwards", segName, vr.version, i)
+		}
+	}
+	fs.lastVer = vr.version
+	fs.lastSV = append(fs.lastSV[:0], vr.stateVers...)
+	fs.lastIV = append(fs.lastIV[:0], vr.infoVers...)
+
+	useBlob := func(h rel.ID, what string) {
+		if _, ok := fs.blobSeen[h]; !ok {
+			rep.problemf("%s: version %d references missing %s blob %x", segName, vr.version, what, h[:4])
+		}
+		fs.blobUsed[h] = true
+	}
+	for _, se := range vr.states {
+		for _, te := range se.tables {
+			for _, h := range te.chunks {
+				useBlob(h, "chunk")
+			}
+		}
+		for _, spine := range [][]blobRef{se.view.prov, se.view.exec, se.view.pins} {
+			for _, br := range spine {
+				if br.present {
+					useBlob(br.hash, "view")
+				}
+			}
+		}
+	}
+}
+
+func (fs *fsckState) noteFirstSeen(vr *versionRecord, owned []string, firstSeen map[string]uint64) {
+	for i := range vr.states {
+		se := &vr.states[i]
+		for _, vid := range se.firstSeen {
+			key := firstSeenKey(owned[se.ownedIdx], vid)
+			if old, ok := firstSeen[key]; !ok || vr.version < old {
+				firstSeen[key] = vr.version
+			}
+		}
+	}
+}
+
+// checkActive scans the unsealed tail: committed records must CRC, the
+// version chain must continue, and anything after the last valid
+// record is the torn tail recovery would truncate.
+func (fs *fsckState) checkActive(path string, seq uint64) {
+	rep := fs.rep
+	name := filepath.Base(path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		rep.problemf("%s: %v", name, err)
+		return
+	}
+	rep.ActiveSegments++
+	if len(data) < len(segmentMagic) {
+		rep.TornTailBytes = int64(len(data))
+		fs.logf("%s: torn before the header record (%d bytes)", name, len(data))
+		return
+	}
+	if !bytes.Equal(data[:len(segmentMagic)], []byte(segmentMagic)) {
+		rep.problemf("%s: bad magic", name)
+		return
+	}
+	off := int64(len(segmentMagic))
+	typ, payload, next, err := readRecord(data, off)
+	if err != nil {
+		rep.TornTailBytes = int64(len(data))
+		fs.logf("%s: torn inside the header record", name)
+		return
+	}
+	if typ != recHeader {
+		rep.problemf("%s: first record is %q, not a header", name, typ)
+		return
+	}
+	hdr, err := unmarshalHeader(payload)
+	if err != nil {
+		rep.problemf("%s: header: %v", name, err)
+		return
+	}
+	if hdr.seq != seq {
+		rep.problemf("%s: header seq %d, expected %d", name, hdr.seq, seq)
+		return
+	}
+	fs.nOwned = len(hdr.owned)
+	off = next
+	for off < int64(len(data)) {
+		typ, payload, next, err := readRecord(data, off)
+		if err != nil {
+			rep.TornTailBytes = int64(len(data)) - off
+			fs.logf("%s: torn tail of %d bytes at offset %d", name, rep.TornTailBytes, off)
+			return
+		}
+		rep.Records++
+		switch typ {
+		case recBlob:
+			rep.Blobs++
+			h := rel.HashBytes(payload)
+			fs.blobSeen[h] = name
+		case recVersion:
+			vr, err := unmarshalVersionRecord(payload, fs.nOwned)
+			if err != nil {
+				rep.problemf("%s: version record at %d: %v", name, off, err)
+				return
+			}
+			fs.checkVersion(name, vr)
+		case recIndex:
+			fs.logf("%s: ends in a seal record (adoptable as sealed)", name)
+		default:
+			rep.problemf("%s: unexpected record type %q at %d", name, typ, off)
+			return
+		}
+		off = next
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package provstore
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile degrades to reading the whole segment into memory on
+// platforms without a usable mmap: sealed segments are immutable, so
+// the copy stays correct, just not lazily paged.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package provstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps a sealed segment read-only. The mapping is the read
+// path's whole cost model: a cold any-epoch lookup touches only the
+// pages the tries and the referenced records live on.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

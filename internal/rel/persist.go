@@ -1,0 +1,71 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Persistence hooks for Frozen: the provstore serializes a frozen table
+// as its chunk runs (each run becomes one content-addressed blob, so an
+// unchanged chunk re-encodes to the identical bytes and is stored once)
+// and reconstructs an equivalent Frozen from those runs when
+// materializing a historical version from disk.
+
+// Runs visits each chunk's sorted run in spine order. The visited
+// slices are shared with the frozen version (and possibly with the live
+// table): callers must treat them as read-only. A nil or empty Frozen
+// visits nothing.
+func (f *Frozen) Runs(fn func([]Tuple)) {
+	if f == nil {
+		return
+	}
+	for _, c := range f.chunks {
+		fn(c.ts[:len(c.ts):len(c.ts)])
+	}
+}
+
+// Contains reports whether the frozen set holds a tuple equal to t, in
+// O(log n): a binary search over the chunk spine (each chunk's last
+// tuple bounds it) and then within the chunk.
+func (f *Frozen) Contains(t Tuple) bool {
+	if f == nil || f.n == 0 {
+		return false
+	}
+	i := sort.Search(len(f.chunks), func(i int) bool {
+		run := f.chunks[i].ts
+		return run[len(run)-1].Compare(t) >= 0
+	})
+	if i == len(f.chunks) {
+		return false
+	}
+	run := f.chunks[i].ts
+	k := sort.Search(len(run), func(k int) bool { return run[k].Compare(t) >= 0 })
+	return k < len(run) && run[k].Compare(t) == 0
+}
+
+// RebuildFrozen reconstructs a Frozen from decoded chunk runs, as
+// produced by Runs. The runs must be non-empty, individually sorted,
+// and globally ascending (strictly — distinct tuples never compare
+// equal); violations mean a corrupt or mis-assembled record and are
+// rejected rather than silently producing a table whose binary searches
+// lie. The run slices are retained (capacity-capped) — callers must not
+// mutate them afterwards.
+func RebuildFrozen(version uint64, runs [][]Tuple) (*Frozen, error) {
+	chunks := make([]*chunk, 0, len(runs))
+	n := 0
+	var last Tuple
+	for ri, run := range runs {
+		if len(run) == 0 {
+			return nil, fmt.Errorf("rel: rebuild frozen: empty run %d", ri)
+		}
+		for k, tp := range run {
+			if (ri > 0 || k > 0) && last.Compare(tp) >= 0 {
+				return nil, fmt.Errorf("rel: rebuild frozen: tuples out of order at run %d index %d", ri, k)
+			}
+			last = tp
+		}
+		n += len(run)
+		chunks = append(chunks, &chunk{ts: run[:len(run):len(run)]})
+	}
+	return &Frozen{version: version, chunks: chunks, n: n}, nil
+}

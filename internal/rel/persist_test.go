@@ -1,0 +1,92 @@
+package rel
+
+import "testing"
+
+func persistTuple(k int) Tuple {
+	return NewTuple("link", Addr("n0"), Int(int64(k)))
+}
+
+func TestFrozenRunsRebuildRoundtrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 255, 256, 257, 1000, 5000} {
+		tbl := NewTable(NewSchema("link", 2))
+		for i := 0; i < n; i++ {
+			tbl.Apply(persistTuple(i), 1)
+		}
+		f := tbl.Freeze()
+		var runs [][]Tuple
+		f.Runs(func(run []Tuple) {
+			runs = append(runs, run)
+		})
+		got, err := RebuildFrozen(f.Version(), runs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Len() != f.Len() || got.Version() != f.Version() {
+			t.Fatalf("n=%d: len/version drift: %d/%d vs %d/%d",
+				n, got.Len(), got.Version(), f.Len(), f.Version())
+		}
+		want := f.Tuples()
+		have := got.Tuples()
+		for i := range want {
+			if !have[i].Equal(want[i]) {
+				t.Fatalf("n=%d: tuple %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestFrozenRunsAreCapacityCapped(t *testing.T) {
+	// Appending to a visited run must never scribble into the frozen
+	// chunk's backing array: the callback slices are capacity-capped.
+	tbl := NewTable(NewSchema("link", 2))
+	for i := 0; i < 600; i++ {
+		tbl.Apply(persistTuple(i), 1)
+	}
+	f := tbl.Freeze()
+	want := f.Tuples()
+	f.Runs(func(run []Tuple) {
+		_ = append(run, persistTuple(999999))
+	})
+	have := f.Tuples()
+	for i := range want {
+		if !have[i].Equal(want[i]) {
+			t.Fatalf("Runs callback append mutated frozen tuple %d", i)
+		}
+	}
+}
+
+func TestFrozenContains(t *testing.T) {
+	tbl := NewTable(NewSchema("link", 2))
+	for i := 0; i < 700; i += 2 {
+		tbl.Apply(persistTuple(i), 1)
+	}
+	f := tbl.Freeze()
+	for i := 0; i < 700; i++ {
+		want := i%2 == 0
+		if f.Contains(persistTuple(i)) != want {
+			t.Fatalf("Contains(%d) != %v", i, want)
+		}
+	}
+	if f.Contains(persistTuple(-1)) || f.Contains(persistTuple(700)) {
+		t.Fatal("Contains hit outside the stored range")
+	}
+	var empty *Frozen = NewTable(NewSchema("link", 2)).Freeze()
+	if empty.Contains(persistTuple(0)) {
+		t.Fatal("empty frozen contains a tuple")
+	}
+}
+
+func TestRebuildFrozenRejectsMalformedRuns(t *testing.T) {
+	if _, err := RebuildFrozen(1, [][]Tuple{{}}); err == nil {
+		t.Fatal("empty run accepted")
+	}
+	if _, err := RebuildFrozen(1, [][]Tuple{{persistTuple(2)}, {persistTuple(1)}}); err == nil {
+		t.Fatal("descending runs accepted")
+	}
+	if _, err := RebuildFrozen(1, [][]Tuple{{persistTuple(1), persistTuple(1)}}); err == nil {
+		t.Fatal("duplicate tuple accepted")
+	}
+	if _, err := RebuildFrozen(1, [][]Tuple{{persistTuple(1)}, {persistTuple(1)}}); err == nil {
+		t.Fatal("duplicate across runs accepted")
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"sort"
 
 	"repro/internal/gateway"
+	"repro/internal/provstore"
 	"repro/internal/rel"
 	"repro/internal/server"
 )
@@ -42,6 +44,11 @@ type Deployment struct {
 	Gateway *httptest.Server
 	Shards  []*httptest.Server
 
+	// Stores holds each arm's snapshot store when the deployment was
+	// booted with BootOptions.DataDir: index 0 is the single-process
+	// arm, 1..ShardCount the shard arms. Close closes them.
+	Stores []*provstore.Store
+
 	// SinglePub publishes the single-process arm; ShardPubs the
 	// shard arms. Their engines may be driven further (soak churn)
 	// from ONE goroutine, in lockstep, replaying identical events.
@@ -59,11 +66,46 @@ func (d *Deployment) Close() {
 	}
 }
 
+// BootOptions tunes a scenario boot beyond the defaults — primarily
+// to attach a durable snapshot store to every arm so the harness can
+// assert the disk-fallback and restart contracts with the same
+// byte-parity rigor as live serving.
+type BootOptions struct {
+	// Retain is every arm's in-memory ring retention (default
+	// markRetain, generous enough that marks never evict). Small
+	// values force mark-pinned checks through the disk fallback.
+	Retain int
+	// DataDir, when non-empty, attaches a provstore to every arm: the
+	// single process under DataDir/single, shard i under
+	// DataDir/shard<i>. Booting again over the same directory resumes
+	// each arm's version sequence from its store.
+	DataDir string
+	// Store tweaks each arm's store options after the harness fills
+	// in the deployment identity (node sets, shard coordinates).
+	Store func(*provstore.Options)
+	// Resume skips the scenario replay: engines boot fresh and the
+	// deployment answers pinned reads purely from its stores — the
+	// restart arm of the durability acceptance test. Requires a
+	// DataDir holding stores from a previous boot; no marks are
+	// recorded.
+	Resume bool
+}
+
 // Boot builds the four arms of a scenario, replays it into each, and
 // wires the HTTP servers and gateway. The four replays must mint
 // identical mark versions and identical current versions — any drift
 // is a determinism bug and fails the boot.
 func Boot(sc Scenario) (*Deployment, error) {
+	return BootWithOptions(sc, BootOptions{})
+}
+
+// BootWithOptions is Boot with explicit retention, durable stores,
+// and restart behavior.
+func BootWithOptions(sc Scenario, o BootOptions) (*Deployment, error) {
+	retain := o.Retain
+	if retain <= 0 {
+		retain = markRetain
+	}
 	d := &Deployment{Scenario: sc}
 	ok := false
 	defer func() {
@@ -72,27 +114,55 @@ func Boot(sc Scenario) (*Deployment, error) {
 		}
 	}()
 
-	boot := func(shard server.ShardSpec) (*server.Publisher, map[string]uint64, *Instance, error) {
+	boot := func(shard server.ShardSpec, armDir string) (*server.Publisher, map[string]uint64, *Instance, error) {
 		inst, err := sc.NewInstance()
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		var st *provstore.Store
+		if armDir != "" {
+			all := inst.Eng.Nodes()
+			popts := provstore.Options{
+				AllNodes: all,
+				Owned:    shard.OwnedNodes(all),
+				Shard:    provstore.ShardInfo{Index: shard.Index, Total: shard.Total},
+			}
+			if o.Store != nil {
+				o.Store(&popts)
+			}
+			if st, err = provstore.Open(armDir, popts); err != nil {
+				return nil, nil, nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+			// Closers run in reverse: the store closes after the HTTP
+			// server that reads from it.
+			d.Stores = append(d.Stores, st)
+			d.closers = append(d.closers, func() { st.Close() })
+		}
 		// Attach before the replay so every epoch of the scenario is
 		// published and marks can name intermediate versions.
-		pub, err := server.NewShardedPublisher(inst.Eng, markRetain, shard)
+		pub, err := server.NewPublisherWithOptions(inst.Eng,
+			server.PublisherOptions{Retain: retain, Shard: shard, Store: st})
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		marks := map[string]uint64{}
-		if err := inst.Replay(func(label string) {
-			marks[label] = pub.Current().Version
-		}); err != nil {
-			return nil, nil, nil, fmt.Errorf("scenario %s: replay: %w", sc.Name, err)
+		if !o.Resume {
+			if err := inst.Replay(func(label string) {
+				marks[label] = pub.Current().Version
+			}); err != nil {
+				return nil, nil, nil, fmt.Errorf("scenario %s: replay: %w", sc.Name, err)
+			}
 		}
 		return pub, marks, inst, nil
 	}
 
-	pub, marks, inst, err := boot(server.ShardSpec{})
+	singleDir, shardDir := "", func(int) string { return "" }
+	if o.DataDir != "" {
+		singleDir = filepath.Join(o.DataDir, "single")
+		shardDir = func(i int) string { return filepath.Join(o.DataDir, fmt.Sprintf("shard%d", i)) }
+	}
+
+	pub, marks, inst, err := boot(server.ShardSpec{}, singleDir)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +177,7 @@ func Boot(sc Scenario) (*Deployment, error) {
 
 	urls := make([]string, ShardCount)
 	for i := 0; i < ShardCount; i++ {
-		spub, smarks, _, err := boot(server.ShardSpec{Index: i, Total: ShardCount})
+		spub, smarks, _, err := boot(server.ShardSpec{Index: i, Total: ShardCount}, shardDir(i))
 		if err != nil {
 			return nil, err
 		}

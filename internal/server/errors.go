@@ -36,6 +36,10 @@ const (
 	// ErrSnapshotEvicted: the pinned version aged out of the retention
 	// ring (410).
 	ErrSnapshotEvicted = "snapshot_evicted"
+	// ErrNoHistory: a deep-history query needs the on-disk snapshot
+	// store and either none is attached (501) or the store has no
+	// sighting of the tuple in its retained history (404).
+	ErrNoHistory = "no_history"
 	// ErrQueryCancelled: the client went away mid-walk; the traversal
 	// was aborted (499, nginx's client-closed-request convention).
 	ErrQueryCancelled = "query_cancelled"

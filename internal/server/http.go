@@ -70,6 +70,7 @@ func New(pub *Publisher, info Info) *Server {
 	s.route("POST", "/query/batch", s.handleQueryBatch, false)
 	s.route("GET", "/shards", s.handleShards, false)
 	s.route("POST", "/prov/read", s.handleProvRead, false)
+	s.route("GET", "/history/first", s.handleHistoryFirst, false)
 	// Anything else is a structured JSON 404, not the mux's plain-text
 	// default.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -363,6 +364,16 @@ type healthzJSON struct {
 	// Shard appears only on sharded servers, so single-process bodies
 	// are unchanged.
 	Shard *ShardJSON `json:"shard,omitempty"`
+	// Store appears only when a durable snapshot store is attached
+	// (-data), so storeless bodies are unchanged.
+	Store *StoreHealthJSON `json:"store,omitempty"`
+}
+
+// StoreHealthJSON is the healthz view of the attached snapshot store:
+// the oldest version still on disk and the newest one made durable.
+type StoreHealthJSON struct {
+	Oldest  uint64 `json:"oldestVersion"`
+	Durable uint64 `json:"durableVersion"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -378,6 +389,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if !snap.Shard.Unsharded() {
 		out.Shard = &ShardJSON{Index: snap.Shard.Index, Total: snap.Shard.Total}
+	}
+	if st := s.pub.Store(); st != nil {
+		out.Store = &StoreHealthJSON{Oldest: st.OldestVersion(), Durable: st.DurableVersion()}
 	}
 	WriteJSON(w, http.StatusOK, out)
 }

@@ -34,12 +34,14 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/logstore"
 	"repro/internal/provenance"
 	"repro/internal/provquery"
+	"repro/internal/provstore"
 	"repro/internal/rel"
 	"repro/internal/simnet"
 )
@@ -272,9 +274,26 @@ type Publisher struct {
 	lastState    []uint64
 	lastProv     []uint64
 
-	states  []*nodeState        // parallel to owned; spine copied per publish
-	dirty   []int               // scratch: owned positions to rebuild this publish
-	history []logstore.Snapshot // append-only; wrapped via FromSorted
+	states    []*nodeState        // parallel to owned; spine copied per publish
+	dirty     []int               // scratch: owned positions to rebuild this publish
+	infoDirty []int               // scratch: owned positions refreshed info-only
+	history   []logstore.Snapshot // append-only; wrapped via FromSorted
+
+	// Disk persistence (nil without a store; see PublisherOptions).
+	// verBase is the store's last version at attach time: minting
+	// resumes at verBase+1 after a restart, and the first publish is
+	// full (every owned node dirty) so the resumed chain stays
+	// self-contained. pending/durableLen gate history trimming on what
+	// the store has fsynced. The disk cache is the only publisher state
+	// HTTP readers mutate, hence its own lock.
+	store      *provstore.Store
+	verBase    uint64
+	pending    []histMark
+	durableLen int
+
+	diskMu    sync.Mutex
+	diskCache map[uint64]*Snapshot
+	diskOrder []uint64 // insertion-ordered diskCache keys (FIFO eviction)
 }
 
 // DefaultRetain is how many recent snapshot versions a publisher keeps
@@ -300,47 +319,7 @@ func NewPublisher(eng *engine.Engine, retain int) (*Publisher, error) {
 // from a sharded snapshot fail with a wrong-shard error if their
 // traversal leaves the owned partitions.
 func NewShardedPublisher(eng *engine.Engine, retain int, shard ShardSpec) (*Publisher, error) {
-	if retain < 1 {
-		retain = DefaultRetain
-	}
-	if shard.Total < 0 || (shard.Total > 0 && (shard.Index < 0 || shard.Index >= shard.Total)) {
-		return nil, fmt.Errorf("server: bad shard spec %s", shard)
-	}
-	all := eng.Nodes()
-	if shard.Total > len(all) {
-		return nil, fmt.Errorf("server: %d shards over %d nodes leaves empty shards", shard.Total, len(all))
-	}
-	p := &Publisher{
-		eng:          eng,
-		retain:       retain,
-		shard:        shard,
-		allNodes:     all,
-		nodes:        make([]*engine.Node, len(all)),
-		ownedIdx:     make([]int, len(all)),
-		index:        make(map[string]int),
-		lastActivity: make([]uint64, len(all)),
-		lastState:    make([]uint64, len(all)),
-		lastProv:     make([]uint64, len(all)),
-	}
-	for i, addr := range all {
-		n, _ := eng.Node(addr)
-		if n.Prov == nil {
-			return nil, fmt.Errorf("server: node %s has no provenance store", addr)
-		}
-		p.nodes[i] = n
-		p.ownedIdx[i] = -1
-		if shard.Unsharded() || ShardOf(i, shard.Total) == shard.Index {
-			p.ownedIdx[i] = len(p.owned)
-			p.index[addr] = len(p.owned)
-			p.owned = append(p.owned, addr)
-			p.ownedNodes = append(p.ownedNodes, n)
-		}
-	}
-	p.states = make([]*nodeState, len(p.owned))
-	p.cur.Store(&ring{})
-	p.Publish()
-	eng.SetEpochObserver(func() { p.Publish() })
-	return p, nil
+	return NewPublisherWithOptions(eng, PublisherOptions{Retain: retain, Shard: shard})
 }
 
 // Shard returns which slice of the deployment this publisher serves
@@ -364,8 +343,11 @@ func (p *Publisher) Current() *Snapshot {
 }
 
 // At returns the retained snapshot with the given version; ok is false
-// when it was never published or has aged out of the retention ring.
-// Version 0 means current. Safe for concurrent use.
+// when it was never published or has aged out of retention. Version 0
+// means current. With a snapshot store attached, versions older than
+// the in-memory ring are rebuilt from disk (and cached), so pinned
+// reads keep working as long as the store retains the version — even
+// across a restart. Safe for concurrent use.
 func (p *Publisher) At(version uint64) (*Snapshot, bool) {
 	r := p.cur.Load()
 	if version == 0 {
@@ -373,17 +355,27 @@ func (p *Publisher) At(version uint64) (*Snapshot, bool) {
 	}
 	// Versions are dense and ascending: index arithmetic, no scan.
 	first := r.snaps[0].Version
-	if version < first || version > r.snaps[len(r.snaps)-1].Version {
-		return nil, false
+	if version >= first && version <= r.snaps[len(r.snaps)-1].Version {
+		return r.snaps[version-first], true
 	}
-	return r.snaps[version-first], true
+	if version < first && p.store != nil {
+		return p.diskAt(version)
+	}
+	return nil, false
 }
 
-// Versions returns the oldest and newest retained versions. Safe for
-// concurrent use.
+// Versions returns the oldest and newest retained versions — oldest
+// reaches back to the snapshot store's floor when one is attached.
+// Safe for concurrent use.
 func (p *Publisher) Versions() (oldest, newest uint64) {
 	r := p.cur.Load()
-	return r.snaps[0].Version, r.snaps[len(r.snaps)-1].Version
+	oldest, newest = r.snaps[0].Version, r.snaps[len(r.snaps)-1].Version
+	if p.store != nil {
+		if o := p.store.OldestVersion(); o != 0 && o < oldest {
+			oldest = o
+		}
+	}
+	return oldest, newest
 }
 
 // Publish builds a snapshot of the engine's state and publishes it.
@@ -428,7 +420,11 @@ func (p *Publisher) Publish() *Snapshot {
 	}
 
 	now := p.eng.Net.Now()
-	version := uint64(1)
+	// The first publish of a fresh deployment mints 1; after a restart
+	// with a snapshot store it resumes the store's dense sequence at
+	// verBase+1 (first=true made every owned node dirty above, so the
+	// resumed chain's first record is self-contained).
+	version := p.verBase + 1
 	if !first {
 		version = prev.snaps[len(prev.snaps)-1].Version + 1
 	}
@@ -471,16 +467,23 @@ func (p *Publisher) Publish() *Snapshot {
 	// Traffic can move without state changing anywhere on the node (a
 	// collector shipping snapshots, say): refresh the published counters
 	// of carried-over states with an O(1) compare per node, sharing the
-	// tables and view of the previous state.
+	// tables and view of the previous state. Dirty nodes never retrigger
+	// here — their counters were just read — so infoDirty stays disjoint
+	// from dirty (and ascending, which the store's Append requires).
+	p.infoDirty = p.infoDirty[:0]
 	for oi, st := range states {
 		if sent, _, ok := p.eng.Net.NodeTraffic(p.owned[oi]); ok &&
 			(sent.Messages != st.info.SentMsgs || sent.Bytes != st.info.SentBytes) {
 			info := st.info
 			info.SentMsgs, info.SentBytes = sent.Messages, sent.Bytes
 			states[oi] = &nodeState{tables: st.tables, view: st.view, info: info}
+			p.infoDirty = append(p.infoDirty, oi)
 		}
 	}
 	p.states = states
+	if p.store != nil {
+		p.teeToStore(version, now, states)
+	}
 	p.trimHistory()
 
 	snap := &Snapshot{
@@ -512,12 +515,30 @@ func (p *Publisher) Publish() *Snapshot {
 // the window's suffix plus, for each node absent from that suffix, its
 // latest earlier row (carry-forward, original time order preserved).
 // The fresh array leaves every published snapshot's History intact.
+//
+// With a snapshot store attached, the cut additionally never crosses
+// durableLen: rows whose version the store has not fsynced yet would
+// be unrecoverable after a crash, so they stay in memory (the list
+// temporarily overshoots its bound) until a sync catches up.
 func (p *Publisher) trimHistory() {
 	maxLen := p.retain * len(p.owned)
 	if len(p.history) <= 2*maxLen {
 		return
 	}
 	cut := len(p.history) - maxLen
+	if p.store != nil {
+		durable := p.store.DurableVersion()
+		for len(p.pending) > 0 && p.pending[0].version <= durable {
+			p.durableLen = p.pending[0].histLen
+			p.pending = p.pending[1:]
+		}
+		if cut > p.durableLen {
+			cut = p.durableLen
+		}
+		if cut <= 0 {
+			return
+		}
+	}
 	suffix := p.history[cut:]
 	inSuffix := make(map[string]bool, len(p.owned))
 	for i := range suffix {
@@ -539,5 +560,15 @@ func (p *Publisher) trimHistory() {
 		out = append(out, p.history[i])
 	}
 	out = append(out, suffix...)
+	if p.store != nil {
+		// Remap the durable watermark and pending marks onto the fresh
+		// array: carried rows all came from the durable prefix (cut <=
+		// durableLen), and row i >= cut now lives at len(keep)+(i-cut).
+		base := len(keep)
+		p.durableLen = base + (p.durableLen - cut)
+		for i := range p.pending {
+			p.pending[i].histLen = base + (p.pending[i].histLen - cut)
+		}
+	}
 	p.history = out
 }

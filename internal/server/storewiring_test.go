@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provstore"
+)
+
+func queryEscape(s string) string { return url.QueryEscape(s) }
+
+// openTestStore opens a snapshot store matching the engine's node set
+// (unsharded), with small segments so tests cross seal boundaries.
+func openTestStore(t testing.TB, dir string, e *engine.Engine, tweak func(*provstore.Options)) *provstore.Store {
+	t.Helper()
+	opts := provstore.Options{AllNodes: e.Nodes(), Owned: e.Nodes(), SealVersions: 4}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	st, err := provstore.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// newStoreServer boots a publisher teeing to st plus its HTTP server.
+func newStoreServer(t testing.TB, e *engine.Engine, retain int, st *provstore.Store) (*Publisher, *httptest.Server) {
+	t.Helper()
+	pub, err := NewPublisherWithOptions(e, PublisherOptions{Retain: retain, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Detach()
+	ts := httptest.NewServer(New(pub, Info{Protocol: "mincost"}))
+	t.Cleanup(ts.Close)
+	return pub, ts
+}
+
+// churnVersions perturbs the engine and publishes until n new versions
+// exist, returning the newest.
+func churnVersions(t testing.TB, pub *Publisher, n int) uint64 {
+	t.Helper()
+	start := pub.Current().Version
+	k := 0
+	for pub.Current().Version < start+uint64(n) {
+		if err := pub.eng.InsertFact(churnTuple("n1", k)); err != nil {
+			t.Fatal(err)
+		}
+		k++
+		pub.Publish()
+		if k > 100*n {
+			t.Fatalf("churn stalled at version %d", pub.Current().Version)
+		}
+	}
+	return pub.Current().Version
+}
+
+// markerLit is a base fact at n2 — a node the churn loop never
+// touches, so it survives every epoch once inserted (churnTuple("n2",
+// 3) renders to this literal).
+const markerLit = "link(@'n2','n2',93)"
+
+// pinnedBodies fetches the version-determined read surface pinned at
+// v: per-node state, the nodes summary, and a lineage query of the
+// marker fact.
+func pinnedBodies(t testing.TB, ts *httptest.Server, pub *Publisher, v uint64) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, addr := range pub.Current().Nodes {
+		url := fmt.Sprintf("%s/v1/state/%s?version=%d", ts.URL, addr, v)
+		code, body := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", url, code, body)
+		}
+		out["state:"+addr] = body
+	}
+	code, body := get(t, fmt.Sprintf("%s/v1/nodes?version=%d", ts.URL, v))
+	if code != http.StatusOK {
+		t.Fatalf("nodes@%d: %d %s", v, code, body)
+	}
+	out["nodes"] = body
+
+	req := fmt.Sprintf(`{"type":"lineage","tuple":%q,"version":%d}`, markerLit, v)
+	code, body = post(t, ts.URL+"/v1/query", req)
+	if code != http.StatusOK {
+		t.Fatalf("query@%d: %d %s", v, code, body)
+	}
+	out["query"] = body
+	return out
+}
+
+func sameBodies(t *testing.T, want, got map[string][]byte, label string) {
+	t.Helper()
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("%s: %s missing", label, k)
+		}
+		if !bytes.Equal(w, g) {
+			t.Errorf("%s: %s drifted:\nring: %s\ndisk: %s", label, k, w, g)
+		}
+	}
+}
+
+// TestStoreFallbackServesEvictedVersions is the tentpole contract:
+// with a store attached, a version that ages out of the in-memory ring
+// is served from disk with byte-identical bodies — never
+// snapshot_evicted.
+func TestStoreFallbackServesEvictedVersions(t *testing.T) {
+	e := buildGrid(t, 2)
+	st := openTestStore(t, t.TempDir(), e, nil)
+	defer st.Close()
+	pub, ts := newStoreServer(t, e, 4, st)
+
+	if err := e.InsertFact(churnTuple("n2", 3)); err != nil {
+		t.Fatal(err)
+	}
+	pub.Publish()
+	churnVersions(t, pub, 1)
+	pinned := pub.Current().Version // still in the ring when captured
+	want := pinnedBodies(t, ts, pub, pinned)
+
+	churnVersions(t, pub, 10) // push pinned out of the retain=4 ring
+	if first := pub.cur.Load().snaps[0].Version; first <= pinned {
+		t.Fatalf("test is vacuous: version %d still in the ring (first %d)", pinned, first)
+	}
+	oldest, _ := pub.Versions()
+	if oldest != 1 {
+		t.Fatalf("store-backed oldest = %d, want 1", oldest)
+	}
+	sameBodies(t, want, pinnedBodies(t, ts, pub, pinned), "after eviction")
+
+	// Unpinned current reads and a too-new pin still behave.
+	if _, ok := pub.At(pub.Current().Version + 1); ok {
+		t.Fatal("future version resolved")
+	}
+	code, body := get(t, fmt.Sprintf("%s/v1/state/n1?version=%d", ts.URL, pub.Current().Version+10))
+	if code != http.StatusGone {
+		t.Fatalf("future pin: %d %s", code, body)
+	}
+}
+
+// TestStoreRestartResumesAndServes: a restarted daemon (fresh engine,
+// reopened store) resumes minting at LastVersion()+1 and serves early
+// pinned versions from disk byte-identically.
+func TestStoreRestartResumesAndServes(t *testing.T) {
+	dir := t.TempDir()
+	e1 := buildGrid(t, 2)
+	st1 := openTestStore(t, dir, e1, nil)
+	pub1, ts1 := newStoreServer(t, e1, 4, st1)
+	if err := e1.InsertFact(churnTuple("n2", 3)); err != nil {
+		t.Fatal(err)
+	}
+	pinned := pub1.Publish().Version // 2: long evicted from the retain=4 ring below
+	last := churnVersions(t, pub1, 8)
+	want := pinnedBodies(t, ts1, pub1, pinned)
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := buildGrid(t, 2)
+	st2 := openTestStore(t, dir, e2, nil)
+	defer st2.Close()
+	pub2, ts2 := newStoreServer(t, e2, 4, st2)
+	if got := pub2.Current().Version; got != last+1 {
+		t.Fatalf("restart minted version %d, want %d", got, last+1)
+	}
+	if oldest, _ := pub2.Versions(); oldest != 1 {
+		t.Fatalf("restart oldest = %d, want 1", oldest)
+	}
+	sameBodies(t, want, pinnedBodies(t, ts2, pub2, pinned), "after restart")
+
+	// And the chain keeps extending densely.
+	if got := churnVersions(t, pub2, 2); got != last+3 {
+		t.Fatalf("post-restart churn reached %d, want %d", got, last+3)
+	}
+}
+
+// TestTrimHistoryWaitsForDurability is the history-trimming fix: rows
+// the store has not fsynced yet must survive trimming (the list may
+// overshoot its bound), and a sync lets the next publish trim again.
+func TestTrimHistoryWaitsForDurability(t *testing.T) {
+	e := buildGrid(t, 2)
+	st := openTestStore(t, t.TempDir(), e, func(o *provstore.Options) {
+		o.SealVersions = 1 << 20 // never seal: durability advances only on explicit Sync
+		o.SyncEvery = 1 << 20    // never fsync on append
+	})
+	defer st.Close()
+	pub, err := NewPublisherWithOptions(e, PublisherOptions{Retain: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Detach()
+
+	maxLen := pub.retain * len(pub.owned)
+	churnVersions(t, pub, 20)
+	if st.DurableVersion() != 0 {
+		t.Fatalf("durable version %d without any sync", st.DurableVersion())
+	}
+	if len(pub.history) <= 2*maxLen {
+		t.Fatalf("test is vacuous: history %d never exceeded the trigger %d", len(pub.history), 2*maxLen)
+	}
+
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st.DurableVersion() != st.LastVersion() {
+		t.Fatalf("sync left durable at %d of %d", st.DurableVersion(), st.LastVersion())
+	}
+	churnVersions(t, pub, 1)
+	// One row per publish may land after the trim; the bound is maxLen
+	// plus carry-forward rows, well under the pre-sync pile-up.
+	if len(pub.history) > maxLen+len(pub.owned) {
+		t.Fatalf("history still %d rows after sync (bound %d)", len(pub.history), maxLen+len(pub.owned))
+	}
+	for i := range pub.pending {
+		if pub.pending[i].histLen > len(pub.history) {
+			t.Fatalf("pending mark %d points past the trimmed history (%d > %d)",
+				i, pub.pending[i].histLen, len(pub.history))
+		}
+	}
+	// Every owned node still has a history row (carry-forward held).
+	seen := map[string]bool{}
+	for i := range pub.history {
+		seen[pub.history[i].Node] = true
+	}
+	for _, addr := range pub.owned {
+		if !seen[addr] {
+			t.Errorf("node %s lost its last history row to trimming", addr)
+		}
+	}
+}
+
+// TestHistoryFirstEndpoint exercises the new deep-history query class
+// end to end: first version where tuple X exists.
+func TestHistoryFirstEndpoint(t *testing.T) {
+	e := buildGrid(t, 2)
+	st := openTestStore(t, t.TempDir(), e, nil)
+	defer st.Close()
+	pub, ts := newStoreServer(t, e, 4, st)
+
+	churnVersions(t, pub, 3)
+	marker := churnTuple("n2", 3) // not inserted by churnVersions (it only churns n1)
+	if err := e.InsertFact(marker); err != nil {
+		t.Fatal(err)
+	}
+	inserted := pub.Publish().Version
+	churnVersions(t, pub, 6) // push the insertion epoch out of the ring
+
+	code, body := get(t, ts.URL+"/v1/history/first?tuple="+queryEscape(markerLit))
+	if code != http.StatusOK {
+		t.Fatalf("history/first: %d %s", code, body)
+	}
+	var out struct {
+		Node         string `json:"node"`
+		FirstVersion uint64 `json:"firstVersion"`
+		TimeUs       int64  `json:"virtualTimeUs"`
+		Oldest       uint64 `json:"oldestVersion"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Node != "n2" || out.FirstVersion != inserted {
+		t.Fatalf("first = %+v, want node n2 at version %d", out, inserted)
+	}
+	if out.Oldest != 1 {
+		t.Fatalf("oldestVersion = %d, want 1", out.Oldest)
+	}
+
+	// A tuple the network never saw: 404 no_history.
+	code, body = get(t, ts.URL+"/v1/history/first?tuple="+queryEscape("link(@'n1','n1',424242)"))
+	if code != http.StatusNotFound || !bytes.Contains(body, []byte(ErrNoHistory)) {
+		t.Fatalf("unseen tuple: %d %s", code, body)
+	}
+	// Unknown node: 404 unknown_node.
+	code, body = get(t, ts.URL+"/v1/history/first?tuple="+queryEscape("link(@'zz','zz',1)"))
+	if code != http.StatusNotFound || !bytes.Contains(body, []byte(ErrUnknownNode)) {
+		t.Fatalf("unknown node: %d %s", code, body)
+	}
+	// Missing tuple parameter: 400.
+	code, _ = get(t, ts.URL+"/v1/history/first")
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing tuple: %d", code)
+	}
+
+	// Without a store the endpoint reports 501 no_history.
+	e2 := buildGrid(t, 2)
+	_, bare := newServer(t, e2, 4)
+	code, body = get(t, bare.URL+"/v1/history/first?tuple="+queryEscape(markerLit))
+	if code != http.StatusNotImplemented || !bytes.Contains(body, []byte(ErrNoHistory)) {
+		t.Fatalf("storeless daemon: %d %s", code, body)
+	}
+}

@@ -43,6 +43,7 @@ var scope = []string{
 	"repro/internal/logstore",
 	"repro/internal/provgraph",
 	"repro/internal/rel",
+	"repro/internal/provstore",
 }
 
 // frozen is the cross-package registry of published-immutable types.
@@ -57,6 +58,11 @@ var frozen = map[string]bool{
 	// table and with other Frozen versions, so any write through a
 	// Frozen corrupts every version sharing the chunk.
 	"repro/internal/rel.Frozen": true,
+	// The snapshot store's read path: a sealed segment's mmapped bytes
+	// and its succinct trie index are shared by every concurrent reader
+	// with no locks — immutable from seal to close.
+	"repro/internal/provstore.Trie":          true,
+	"repro/internal/provstore.sealedSegment": true,
 	// logstore.Store is deliberately absent: it is a live collector
 	// (Add mutates it during the run); only the FromSorted handoff
 	// inside a published Snapshot is frozen, and that is enforced by

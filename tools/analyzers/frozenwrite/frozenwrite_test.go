@@ -20,3 +20,12 @@ func TestFrozenwriteRelFrozen(t *testing.T) {
 	analyzertest.Run(t, "testdata/src/relfixture",
 		"repro/internal/rel", frozenwrite.Analyzer)
 }
+
+// TestFrozenwriteProvstore type-checks a mirror of the snapshot
+// store's read-path types as repro/internal/provstore, proving the
+// registry entries for the mmap-backed sealed segment and its succinct
+// trie index flag post-seal writes without any doc marker.
+func TestFrozenwriteProvstore(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/provstorefixture",
+		"repro/internal/provstore", frozenwrite.Analyzer)
+}

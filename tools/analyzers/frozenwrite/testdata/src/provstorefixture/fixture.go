@@ -1,0 +1,61 @@
+// Package provstore mirrors the shape of the real
+// repro/internal/provstore read-path types. The test type-checks this
+// package as repro/internal/provstore itself, so the diagnostics below
+// prove the cross-package registry entries
+// ("repro/internal/provstore.Trie", ".sealedSegment") catch writes on
+// their own — a sealed segment's mmapped bytes and its trie index are
+// served to concurrent readers with no locks, so nothing may ever
+// write through them after the seal.
+package provstore
+
+// bitvec stands in for the real rank/select bit vector.
+type bitvec struct {
+	bits []uint64
+	n    int
+}
+
+// Trie is the registry-protected succinct index (no doc marker on
+// purpose; see the package comment).
+type Trie struct {
+	labels   []byte
+	hasChild *bitvec
+	values   []uint64
+}
+
+// sealedSegment is the registry-protected mmap-backed segment.
+type sealedSegment struct {
+	name string
+	last uint64
+	data []byte
+	trie *Trie
+}
+
+// buildTrie is the sanctioned builder: the local is fresh from a
+// composite literal, so filling it before handoff is legal.
+func buildTrie(keys [][]byte) *Trie {
+	t := &Trie{hasChild: &bitvec{}}
+	for _, k := range keys {
+		t.labels = append(t.labels, k...)
+		t.values = append(t.values, uint64(len(k)))
+	}
+	return t
+}
+
+// mutateSealed writes through values that arrived from outside: every
+// shape must be flagged via the registry alone.
+func mutateSealed(s *sealedSegment, t *Trie) {
+	s.last = 9            // want `write to s\.last mutates frozen sealedSegment`
+	s.data[0] = 0         // want `write to s\.data\[0\] mutates frozen sealedSegment`
+	s.trie.values[0] = 1  // want `write to s\.trie\.values\[0\] mutates frozen sealedSegment`
+	t.labels = nil        // want `write to t\.labels mutates frozen Trie`
+	t.hasChild.bits = nil // want `write to t\.hasChild\.bits mutates frozen Trie`
+}
+
+// readOnly proves lookups and value copies stay legal.
+func readOnly(s *sealedSegment, t *Trie) int {
+	n := len(s.data) + len(t.labels)
+	if s.trie != nil {
+		n += len(s.trie.values)
+	}
+	return n
+}

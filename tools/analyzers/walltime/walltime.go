@@ -1,7 +1,7 @@
 // Package walltime flags wall-clock and ambient-randomness reads in
 // the deterministic simulation core. Inside
-// internal/{simnet,engine,eval,rel,provenance} the only clock is the
-// virtual instant (simnet.Time) and the only randomness is a seeded
+// internal/{simnet,engine,eval,rel,provenance,provstore} the only
+// clock is the virtual instant (simnet.Time) and the only randomness is a seeded
 // *rand.Rand owned by the scenario: a stray time.Now or global
 // rand.Intn makes two runs of the same trace diverge, which breaks the
 // byte-parity guarantee every provenance digest rests on.
@@ -34,6 +34,12 @@ var scope = []string{
 	"repro/internal/eval",
 	"repro/internal/rel",
 	"repro/internal/provenance",
+	// The snapshot store persists the deterministic core's output:
+	// every timestamp it writes must be a virtual instant carried in
+	// the publish metadata (VersionInput.Time), never the wall clock —
+	// otherwise two runs of the same trace produce different bytes on
+	// disk and the byte-parity acceptance checks break.
+	"repro/internal/provstore",
 }
 
 // forbiddenTime is every package-level reader of the wall clock or

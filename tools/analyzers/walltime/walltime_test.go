@@ -14,3 +14,13 @@ func TestWalltime(t *testing.T) {
 	analyzertest.Run(t, "testdata/src/walltimefixture",
 		"repro/internal/simnet/walltimefixture", walltime.Analyzer)
 }
+
+// TestWalltimeProvstoreScope proves the on-disk snapshot store is part
+// of the deterministic core: the identical fixture analyzed under a
+// provstore path must produce the same findings, so store timestamps
+// can only come from the virtual clock carried in publish metadata
+// (provstore.VersionInput.Time), never time.Now.
+func TestWalltimeProvstoreScope(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/walltimefixture",
+		"repro/internal/provstore/walltimefixture", walltime.Analyzer)
+}
