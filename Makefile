@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench bench-publish bench-store serve-smoke scenarios scenarios-slow docs-check ci clean
+.PHONY: all vet staticcheck govulncheck fmt-check build test race fuzz bench bench-publish bench-store serve-smoke scenarios scenarios-slow engine-dist docs-check ci clean
 
 all: fmt-check vet build test
 
@@ -65,6 +65,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseASGraph$$' -fuzztime $(FUZZTIME) ./internal/routeviews
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime $(FUZZTIME) ./internal/provstore
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeVersionRecord$$' -fuzztime $(FUZZTIME) ./internal/provstore
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/nettransport
 
 # bench sweeps the tracked benchmark suites and records the results as
 # JSON so the performance trajectory is archived over time:
@@ -137,13 +138,22 @@ scenarios:
 scenarios-slow:
 	$(GO) test -count=1 -tags slow -run 'TestPrefixHijackRouteViewsScale' ./internal/scenario/
 
+# engine-dist boots the distributed engine as real OS processes: the
+# same convergence script runs as one plain process and as 2- and
+# 3-member TCP clusters, every member's per-node snapshot digests must
+# match the single-process run byte for byte, and the epoch
+# throughput / cut latency of each shape is archived in
+# BENCH_dist.json (cmd/nettrailsdist).
+engine-dist:
+	$(GO) run ./cmd/nettrailsdist -out BENCH_dist.json
+
 # docs-check fails when README.md or docs/ drift from the code: broken
 # relative links, commands naming missing binaries/flags, or make
 # targets that no longer exist (tools/docscheck).
 docs-check:
 	$(GO) run ./tools/docscheck
 
-ci: fmt-check vet staticcheck govulncheck build race fuzz serve-smoke scenarios docs-check bench
+ci: fmt-check vet staticcheck govulncheck build race fuzz serve-smoke scenarios engine-dist docs-check bench
 
 # clean removes scratch files only; BENCH_*.json are committed
 # trajectory artifacts and must survive a clean.

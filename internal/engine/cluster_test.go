@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/provenance"
+	"repro/internal/rel"
+	"repro/internal/simnet"
+)
+
+const clusterTestProgram = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(cost, infinity, infinity, keys(1,2,3)).
+materialize(mincost, infinity, infinity, keys(1,2)).
+
+mc1 cost(@S,D,C) :- link(@S,D,C).
+mc2 cost(@S,D,C) :- link(@S,Z,C1), mincost(@Z,D,C2), S != D, C := C1 + C2, C < 64.
+mc3 mincost(@S,D,min<C>) :- cost(@S,D,C).
+`
+
+var clusterTestNodes = []string{"n1", "n2", "n3", "n4", "n5"}
+
+// driveClusterScript replays the shared topology script: every process
+// of a distributed run and the single-process reference run execute
+// exactly this.
+func driveClusterScript(t *testing.T, e *Engine) {
+	t.Helper()
+	type edge struct {
+		a, b string
+		cost int64
+	}
+	for _, ed := range []edge{
+		{"n1", "n2", 1}, {"n2", "n3", 2}, {"n3", "n4", 1}, {"n4", "n5", 3}, {"n1", "n5", 10},
+	} {
+		if err := e.AddBiLink(ed.a, ed.b, ed.cost); err != nil {
+			t.Fatalf("AddBiLink(%s,%s): %v", ed.a, ed.b, err)
+		}
+	}
+	// Churn: drop the shortcut, retract a link, re-add it cheaper.
+	if err := e.RemoveBiLink("n1", "n5", 10); err != nil {
+		t.Fatalf("RemoveBiLink: %v", err)
+	}
+	if err := e.AddBiLink("n1", "n5", 2); err != nil {
+		t.Fatalf("AddBiLink re-add: %v", err)
+	}
+}
+
+func nodeTuples(t *testing.T, e *Engine, addr, relName string) []rel.Tuple {
+	t.Helper()
+	n, ok := e.Node(addr)
+	if !ok {
+		t.Fatalf("no node %s", addr)
+	}
+	ts, err := n.Tuples(relName)
+	if err != nil {
+		t.Fatalf("tuples %s at %s: %v", relName, addr, err)
+	}
+	return ts
+}
+
+// TestClusterParityMemTransport runs the same script single-process and
+// as a 3-member in-memory cluster, and asserts every node's final state
+// is identical at its owner.
+func TestClusterParityMemTransport(t *testing.T) {
+	single, err := New(clusterTestProgram, clusterTestNodes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain through the epoch scheduler (what any snapshot-publishing
+	// deployment runs), so per-link coalescing is comparable with the
+	// distributed drain.
+	single.SetEpochObserver(func() {})
+	driveClusterScript(t, single)
+
+	const members = 3
+	mc := simnet.NewMemCluster(members)
+	engines := make([]*Engine, members)
+	var wg sync.WaitGroup
+	errs := make(chan error, members)
+	for i := 0; i < members; i++ {
+		eng, err := New(clusterTestProgram, clusterTestNodes, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.EnableCluster(mc.Member(i)); err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+		wg.Add(1)
+		go func(eng *Engine, rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mc.Close() // unblock peers stuck in Exchange
+					errs <- fmt.Errorf("member %d: %v", rank, r)
+				}
+			}()
+			driveClusterScript(t, eng)
+		}(eng, i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	sorted := single.Nodes()
+	for pos, addr := range sorted {
+		owner := engines[pos%members]
+		if !owner.Owns(addr) {
+			t.Fatalf("member %d does not own %s", pos%members, addr)
+		}
+		for _, relName := range []string{"link", "cost", "mincost"} {
+			want := nodeTuples(t, single, addr, relName)
+			got := nodeTuples(t, owner, addr, relName)
+			if len(want) != len(got) {
+				t.Fatalf("%s at %s: single has %d tuples, cluster owner has %d", relName, addr, len(want), len(got))
+			}
+			for i := range want {
+				if !want[i].Equal(got[i]) {
+					t.Fatalf("%s at %s tuple %d: single %s vs cluster %s", relName, addr, i, want[i], got[i])
+				}
+			}
+		}
+		// Published traffic counters must match too: coalescing parity
+		// is part of the byte-identical snapshot claim.
+		ws, _, _ := single.Net.NodeTraffic(addr)
+		gs, _, _ := owner.Net.NodeTraffic(addr)
+		if ws != gs {
+			t.Fatalf("sent traffic at %s: single %+v vs cluster owner %+v", addr, ws, gs)
+		}
+	}
+}
+
+// TestClusterTransportFailureIsLoud verifies the protocol's loud-failure
+// contract: when the transport dies mid-drain, RunQuiescent panics with
+// a *ClusterError instead of returning a half-advanced engine.
+func TestClusterTransportFailureIsLoud(t *testing.T) {
+	mc := simnet.NewMemCluster(2)
+	eng, err := New(clusterTestProgram, clusterTestNodes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableCluster(mc.Member(0)); err != nil {
+		t.Fatal(err)
+	}
+	mc.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from drain over closed transport")
+		}
+		if _, ok := r.(*ClusterError); !ok {
+			t.Fatalf("expected *ClusterError, got %T: %v", r, r)
+		}
+	}()
+	_ = eng.AddBiLink("n1", "n2", 1)
+}
+
+func TestWireFramesRoundTrip(t *testing.T) {
+	tup := rel.NewTuple("cost", rel.Addr("n1"), rel.Addr("n2"), rel.Int(7))
+	frames := []wireFrame{
+		{At: 42, Msg: simnet.Message{From: "n1", To: "n2", Kind: KindDelta, Reliable: true, Size: 33,
+			Payload: DeltaMsg{Delta: eval.Delta{Tuple: tup, Sign: 1}}}},
+		{At: 43, Msg: simnet.Message{From: "n2", To: "n3", Kind: KindDelta, Reliable: true, Size: 99,
+			Payload: DeltaBatch{Msgs: []DeltaMsg{
+				{Delta: eval.Delta{Tuple: tup, Sign: -1}},
+				{Delta: eval.Delta{Tuple: tup, Sign: 1}, HasProv: true,
+					Prov: provenance.Entry{VID: tup.VID(), RID: rel.HashBytes([]byte("rid")), RLoc: "n2"}},
+			}}}},
+	}
+	got, err := decodeFrames(encodeFrames(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("round trip count %d != %d", len(got), len(frames))
+	}
+	if got[0].At != 42 || got[0].Msg.From != "n1" || got[0].Msg.Size != 33 || !got[0].Msg.Reliable {
+		t.Fatalf("frame 0 mangled: %+v", got[0])
+	}
+	dm := got[0].Msg.Payload.(DeltaMsg)
+	if dm.Delta.Sign != 1 || !dm.Delta.Tuple.Equal(tup) || dm.HasProv {
+		t.Fatalf("frame 0 payload mangled: %+v", dm)
+	}
+	batch := got[1].Msg.Payload.(DeltaBatch)
+	if len(batch.Msgs) != 2 || batch.Msgs[0].Delta.Sign != -1 {
+		t.Fatalf("frame 1 batch mangled: %+v", batch)
+	}
+	if !batch.Msgs[1].HasProv || batch.Msgs[1].Prov.RLoc != "n2" {
+		t.Fatalf("frame 1 prov mangled: %+v", batch.Msgs[1])
+	}
+
+	if _, err := decodeFrames([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("corrupt frames decoded without error")
+	}
+	if _, err := decodeFrames(append(encodeFrames(frames), 0)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}

@@ -143,6 +143,11 @@ type Engine struct {
 	// another goroutine (e.g. server shutdown) cannot race an active
 	// drain's reads.
 	epochObserver atomic.Pointer[func()]
+	// cluster, when non-nil, runs this engine as one member of a
+	// distributed deployment: RunQuiescent drains through the
+	// cross-process epoch protocol (cluster.go) instead of the local
+	// scheduler loop. Set once by EnableCluster.
+	cluster *cluster
 }
 
 // New compiles src (NDlog text) and builds an engine with the given
@@ -193,6 +198,9 @@ func NewFromProgram(prog *ndlog.Program, nodeAddrs []string, opts Options) (*Eng
 }
 
 func (e *Engine) addNode(addr string) error {
+	if e.cluster != nil {
+		return fmt.Errorf("engine: cannot add node %s after EnableCluster froze ownership", addr)
+	}
 	if _, ok := e.nodes[addr]; ok {
 		return fmt.Errorf("engine: duplicate node %s", addr)
 	}
@@ -396,7 +404,7 @@ func (e *Engine) LoadProgramFacts() error {
 // classic serial discrete-event loop. Both schedules converge to the
 // same state for the same seed.
 func (e *Engine) RunQuiescent() {
-	if e.opts.Parallelism > 1 || e.epochObserver.Load() != nil {
+	if e.opts.Parallelism > 1 || e.epochObserver.Load() != nil || e.cluster != nil {
 		if e.draining {
 			return // re-entrant: the active drain reaches quiescence
 		}
@@ -433,6 +441,12 @@ func (e *Engine) SetEpochObserver(fn func()) {
 // (finite materialize lifetime) schedule an expiry; re-insertion
 // refreshes it.
 func (n *Node) InsertFact(t rel.Tuple) error {
+	// In distributed mode the insertion script is replayed by every
+	// process; only the node's owner applies it. The caller still runs
+	// the (barrier-synchronized) drain, keeping all processes in step.
+	if n.eng.cluster != nil && !n.eng.Owns(n.Addr) {
+		return nil
+	}
 	n.activity.Add(1)
 	if err := n.mirrorKeyReplacement(t); err != nil {
 		return err
@@ -500,6 +514,10 @@ func (n *Node) mirrorKeyReplacement(t rel.Tuple) error {
 // been inserted as a fact here; retracting derived-only tuples corrupts
 // the count/provenance correspondence.
 func (n *Node) DeleteFact(t rel.Tuple) error {
+	// Owner-only, mirroring InsertFact: see the comment there.
+	if n.eng.cluster != nil && !n.eng.Owns(n.Addr) {
+		return nil
+	}
 	n.activity.Add(1)
 	sch, hasSchema := n.RT.Store.Catalog().Lookup(t.Rel)
 	if hasSchema && sch.Persistent && sch.LifetimeSecs > 0 {

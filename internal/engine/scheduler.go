@@ -41,7 +41,7 @@ import (
 // capturedSend is one outbound message emitted while a worker was
 // delivering epoch events, tagged for the deterministic merge.
 type capturedSend struct {
-	eventSeq uint64 // seq of the delivery that produced the send
+	eventSeq uint64 // canonical rank of the delivery that produced the send
 	emitIdx  int    // emission rank within that delivery
 	msg      simnet.Message
 }
@@ -132,6 +132,10 @@ func (e *Engine) runEpochs(workers int) {
 			pool.close()
 		}
 	}()
+	if e.cluster != nil {
+		e.clusterDrain(pool)
+		return
+	}
 	for {
 		ep, ok := e.Net.NextEpoch()
 		if !ok {
@@ -145,30 +149,7 @@ func (e *Engine) runEpochs(workers int) {
 			}
 			return
 		}
-		events := ep.Events
-		for len(events) > 0 {
-			j := 0
-			if e.parallelizable(events[0]) {
-				for j < len(events) && e.parallelizable(events[j]) {
-					j++
-				}
-				e.deliverParallel(events[:j], pool)
-			} else {
-				// Maximal run of serial events (timers, service
-				// messages): execute inline, in schedule order. Their
-				// sends go straight to the network, exactly as in the
-				// serial loop.
-				for j < len(events) && !e.parallelizable(events[j]) {
-					if ev := events[j]; ev.Msg != nil {
-						e.Net.Deliver(ev.Msg)
-					} else {
-						ev.Fn()
-					}
-					j++
-				}
-			}
-			events = events[j:]
-		}
+		e.executeEpoch(ep.Events, pool)
 		// The epoch's events are fully delivered and no worker is
 		// active: global state is a consistent cut of the execution at
 		// this virtual instant. Let observers (snapshot publishers)
@@ -176,6 +157,76 @@ func (e *Engine) runEpochs(workers int) {
 		if fn := e.epochObserver.Load(); fn != nil {
 			(*fn)()
 		}
+	}
+}
+
+// executeEpoch canonicalizes and executes one virtual instant's events:
+// maximal runs of delta deliveries fan out across the pool, everything
+// else (timers, service messages) executes inline in canonical order.
+func (e *Engine) executeEpoch(events []simnet.EpochEvent, pool *workerPool) {
+	canonicalize(events)
+	for len(events) > 0 {
+		j := 0
+		if e.parallelizable(events[0]) {
+			for j < len(events) && e.parallelizable(events[j]) {
+				j++
+			}
+			e.deliverParallel(events[:j], pool)
+		} else {
+			// Maximal run of serial events (timers, service
+			// messages): execute inline, in canonical order. Their
+			// sends go straight to the network, exactly as in the
+			// serial loop.
+			for j < len(events) && !e.parallelizable(events[j]) {
+				if ev := events[j]; ev.Msg != nil {
+					e.Net.Deliver(ev.Msg)
+				} else {
+					ev.Fn()
+				}
+				j++
+			}
+		}
+		events = events[j:]
+	}
+}
+
+// canonicalize sorts one epoch's events into the cluster-stable order
+// and renumbers Seq to the canonical rank. Raw schedule sequence
+// numbers are process-local: a distributed engine mints fresh ones when
+// it injects remote deltas, so two processes never agree on absolute
+// seqs. They do agree on everything the canonical key uses — the
+// category of an event, its endpoints, and the relative seq order
+// within one (From, To, Kind) stream (messages of a stream are emitted
+// by exactly one process, in a replicated order). The order is:
+//
+//  1. timers/callbacks, by schedule order (they exist only in the
+//     owning process and fire before the instant's deliveries);
+//  2. message deliveries, destination-major by (To, From, Kind, Seq),
+//     so one node's deliveries — and therefore its captured sends —
+//     form a contiguous block, which keeps per-link coalescing
+//     identical whether the epoch executes in one process or three.
+func canonicalize(events []simnet.EpochEvent) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if (a.Msg == nil) != (b.Msg == nil) {
+			return a.Msg == nil
+		}
+		if a.Msg == nil {
+			return a.Seq < b.Seq
+		}
+		if a.Msg.To != b.Msg.To {
+			return a.Msg.To < b.Msg.To
+		}
+		if a.Msg.From != b.Msg.From {
+			return a.Msg.From < b.Msg.From
+		}
+		if a.Msg.Kind != b.Msg.Kind {
+			return a.Msg.Kind < b.Msg.Kind
+		}
+		return a.Seq < b.Seq
+	})
+	for i := range events {
+		events[i].Seq = uint64(i)
 	}
 }
 

@@ -1,0 +1,130 @@
+// Package nettransport is the TCP implementation of simnet.Transport:
+// the wire that carries the distributed engine's epoch protocol
+// (internal/engine/cluster.go) between real processes. Frames are
+// length-prefixed and CRC-checked; connections are retried with
+// backoff; the exchange layer repairs dropped, duplicated, and
+// reordered frames (the fault-injection tests drive exactly those
+// faults through Options.SendFilter) and fails loudly with typed errors
+// when repair cannot make progress.
+package nettransport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types.
+const (
+	// FrameHello introduces a freshly-dialed connection: it carries the
+	// dialer's member rank and no payload.
+	FrameHello uint8 = 1
+	// FrameData carries one member's payload for one (step, phase)
+	// exchange.
+	FrameData uint8 = 2
+	// FrameNeed asks the receiver to re-send its FrameData for the
+	// given (step, phase) — the receiver-driven retransmit that repairs
+	// lost frames.
+	FrameNeed uint8 = 3
+	// FrameBye announces a graceful teardown of the sender.
+	FrameBye uint8 = 4
+)
+
+// Frame is one protocol frame of the TCP wire codec.
+type Frame struct {
+	Type    uint8
+	From    uint16 // sender's member rank
+	Phase   uint8
+	Step    uint64
+	Payload []byte
+}
+
+const (
+	frameMagic   uint32 = 0x4e544c53 // "NTLS", NetTrails link serialization
+	frameVersion uint8  = 1
+	// headerLen is magic(4) + version(1) + type(1) + from(2) + phase(1)
+	// + step(8) + paylen(4).
+	headerLen = 21
+	// MaxPayload bounds a frame's payload so a torn or hostile length
+	// prefix cannot make a reader allocate unbounded memory.
+	MaxPayload = 64 << 20
+)
+
+// Typed decode errors, distinguishable by errors.Is.
+var (
+	ErrBadMagic   = errors.New("nettransport: bad frame magic")
+	ErrBadVersion = errors.New("nettransport: unsupported frame version")
+	ErrBadCRC     = errors.New("nettransport: frame CRC mismatch")
+	ErrOversized  = errors.New("nettransport: frame payload exceeds limit")
+)
+
+// EncodeFrame renders a frame in wire form: a fixed header, the
+// payload, and a trailing CRC-32 (IEEE) over header plus payload.
+func EncodeFrame(f Frame) []byte {
+	b := make([]byte, headerLen+len(f.Payload)+4)
+	binary.BigEndian.PutUint32(b[0:], frameMagic)
+	b[4] = frameVersion
+	b[5] = f.Type
+	binary.BigEndian.PutUint16(b[6:], f.From)
+	b[8] = f.Phase
+	binary.BigEndian.PutUint64(b[9:], f.Step)
+	binary.BigEndian.PutUint32(b[17:], uint32(len(f.Payload)))
+	copy(b[headerLen:], f.Payload)
+	crc := crc32.ChecksumIEEE(b[: headerLen+len(f.Payload) : headerLen+len(f.Payload)])
+	binary.BigEndian.PutUint32(b[headerLen+len(f.Payload):], crc)
+	return b
+}
+
+// DecodeFrame reads one frame from r. Torn streams surface as
+// io.ErrUnexpectedEOF (or io.EOF at a clean frame boundary); corrupt
+// frames surface as ErrBadMagic / ErrBadVersion / ErrOversized /
+// ErrBadCRC. Any non-EOF error means the stream is unrecoverable — the
+// codec has no resync points by design; the connection layer reconnects
+// instead.
+func DecodeFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Frame{}, err // clean EOF at a frame boundary stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != frameMagic {
+		return Frame{}, ErrBadMagic
+	}
+	if hdr[4] != frameVersion {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	paylen := binary.BigEndian.Uint32(hdr[17:])
+	if paylen > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrOversized, paylen)
+	}
+	body := make([]byte, int(paylen)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, body[:paylen])
+	if crc != binary.BigEndian.Uint32(body[paylen:]) {
+		return Frame{}, ErrBadCRC
+	}
+	f := Frame{
+		Type:  hdr[5],
+		From:  binary.BigEndian.Uint16(hdr[6:]),
+		Phase: hdr[8],
+		Step:  binary.BigEndian.Uint64(hdr[9:]),
+	}
+	if paylen > 0 {
+		f.Payload = body[:paylen:paylen]
+	}
+	return f, nil
+}

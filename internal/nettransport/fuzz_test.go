@@ -1,0 +1,61 @@
+package nettransport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the TCP wire codec with arbitrary byte
+// streams: torn frames, corrupted headers, hostile length prefixes.
+// Invariants: DecodeFrame never panics, never returns an untyped
+// error, and every frame it accepts survives an encode/decode round
+// trip unchanged.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with each frame type, a payload-carrying frame, and the
+	// classic corruptions.
+	f.Add(EncodeFrame(Frame{Type: FrameHello, From: 2}))
+	f.Add(EncodeFrame(Frame{Type: FrameData, From: 1, Phase: 2, Step: 7, Payload: []byte("delta batch bytes")}))
+	f.Add(EncodeFrame(Frame{Type: FrameNeed, From: 0, Phase: 1, Step: 9}))
+	f.Add(EncodeFrame(Frame{Type: FrameBye, From: 3}))
+	valid := EncodeFrame(Frame{Type: FrameData, From: 1, Phase: 1, Step: 1, Payload: []byte("x")})
+	f.Add(valid[:len(valid)-3])                 // torn mid-CRC
+	f.Add(valid[:headerLen-2])                  // torn mid-header
+	f.Add(append([]byte("JUNK"), valid...))     // bad magic
+	f.Add(append(bytes.Clone(valid), valid...)) // two frames back-to-back
+	flip := bytes.Clone(valid)
+	flip[headerLen] ^= 0xff // corrupt payload → CRC mismatch
+	f.Add(flip)
+	big := bytes.Clone(valid)
+	big[17], big[18], big[19], big[20] = 0xff, 0xff, 0xff, 0xff // hostile length
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			fr, err := DecodeFrame(br)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+					!errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+					!errors.Is(err, ErrBadCRC) && !errors.Is(err, ErrOversized) {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				return
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("payload above MaxPayload accepted: %d", len(fr.Payload))
+			}
+			reenc := EncodeFrame(fr)
+			fr2, err := DecodeFrame(bufio.NewReader(bytes.NewReader(reenc)))
+			if err != nil {
+				t.Fatalf("re-decode of accepted frame failed: %v", err)
+			}
+			if fr2.Type != fr.Type || fr2.From != fr.From || fr2.Phase != fr.Phase ||
+				fr2.Step != fr.Step || !bytes.Equal(fr2.Payload, fr.Payload) {
+				t.Fatalf("round trip mangled frame: %+v vs %+v", fr, fr2)
+			}
+		}
+	})
+}

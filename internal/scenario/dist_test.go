@@ -1,0 +1,313 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	nettrails "repro"
+	"repro/internal/nettransport"
+	"repro/internal/server"
+	"repro/internal/testutil"
+)
+
+// The distributed TCP acceptance tier: the same replay runs once in a
+// single process and once as a 3-member engine cluster over real
+// loopback TCP sockets (each member a full engine + colocated shard
+// publisher — in-process here, but exchanging every epoch over the
+// actual wire protocol), and the runs must be indistinguishable:
+// identical label→version mark maps, identical version sequences, and
+// byte-identical per-node snapshot digests.
+
+// eightASTopology is the 8-AS BGP trace topology of the acceptance
+// test: a provider chain with AS8 multihomed at the bottom.
+func eightASTopology() ([]string, []nettrails.ASLink) {
+	ases := []string{"AS1", "AS2", "AS3", "AS4", "AS5", "AS6", "AS7", "AS8"}
+	links := []nettrails.ASLink{
+		{A: "AS1", B: "AS2", Rel: nettrails.PeerOf},
+		{A: "AS1", B: "AS3", Rel: nettrails.CustomerOf},
+		{A: "AS2", B: "AS4", Rel: nettrails.CustomerOf},
+		{A: "AS3", B: "AS5", Rel: nettrails.CustomerOf},
+		{A: "AS4", B: "AS6", Rel: nettrails.CustomerOf},
+		{A: "AS5", B: "AS7", Rel: nettrails.CustomerOf},
+		{A: "AS6", B: "AS8", Rel: nettrails.CustomerOf},
+		{A: "AS7", B: "AS8", Rel: nettrails.PeerOf},
+	}
+	return ases, links
+}
+
+// replayBGPTrace drives the acceptance replay: originate a prefix, then
+// a 40-event generated RouteViews-style trace. Fully deterministic, so
+// every process replays it identically.
+func replayBGPTrace(d *nettrails.BGPDeployment, mark func(string)) error {
+	if err := d.Originate("AS8", "192.0.2.0/24"); err != nil {
+		return err
+	}
+	mark("post-originate")
+	trace, err := d.GenerateTrace(40, 1)
+	if err != nil {
+		return err
+	}
+	if err := d.ReplayTrace(trace); err != nil {
+		return err
+	}
+	mark("post-trace")
+	return nil
+}
+
+// tcpCluster dials a members-sized mesh of real TCP transports on
+// loopback (ports bound up front so the rank→address list exists
+// before any member dials).
+func tcpCluster(t *testing.T, members int) []*nettransport.Transport {
+	t.Helper()
+	lns := make([]net.Listener, members)
+	addrs := make([]string, members)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	trs := make([]*nettransport.Transport, members)
+	for i := range trs {
+		tr, err := nettransport.Dial(context.Background(), i, addrs, nettransport.Options{Listener: lns[i]})
+		if err != nil {
+			t.Fatalf("dial member %d: %v", i, err)
+		}
+		trs[i] = tr
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	return trs
+}
+
+// assertDigestParity compares every owned node digest of each member
+// snapshot against the reference snapshot at the same version.
+func assertDigestParity(t *testing.T, what string, ref *server.Publisher, pubs []*server.Publisher, version uint64) {
+	t.Helper()
+	rs, ok := ref.At(version)
+	if !ok {
+		t.Fatalf("%s: reference lost version %d", what, version)
+	}
+	for i, pub := range pubs {
+		ms, ok := pub.At(version)
+		if !ok {
+			t.Fatalf("%s: member %d lost version %d", what, i, version)
+		}
+		if ms.Time != rs.Time {
+			t.Fatalf("%s: member %d at virtual time %d, reference at %d", what, i, ms.Time, rs.Time)
+		}
+		if len(ms.Nodes) == 0 {
+			t.Fatalf("%s: member %d owns no nodes", what, i)
+		}
+		for _, addr := range ms.Nodes {
+			md, _ := ms.NodeDigest(addr)
+			rd, ok := rs.NodeDigest(addr)
+			if !ok {
+				t.Fatalf("%s: reference lacks node %s", what, addr)
+			}
+			if md != rd {
+				t.Fatalf("%s: node %s snapshot digest diverges at member %d (version %d)", what, addr, i, version)
+			}
+		}
+	}
+}
+
+// TestDistTCPByteParityBGPTrace is the headline acceptance test: a
+// single-process run and a 3-member TCP-distributed run of the 8-AS
+// BGP trace must produce identical mark maps and byte-identical
+// per-node snapshot digests at every mark and at the final state.
+func TestDistTCPByteParityBGPTrace(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	ases, links := eightASTopology()
+
+	ref, err := nettrails.NewBGPDeployment(ases, links, nettrails.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPub, err := server.NewPublisher(ref.Eng, markRetain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMarks := map[string]uint64{}
+	if err := replayBGPTrace(ref, func(label string) {
+		refMarks[label] = refPub.Current().Version
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const members = 3
+	trs := tcpCluster(t, members)
+	pubs := make([]*server.Publisher, members)
+	marks := make([]map[string]uint64, members)
+	deps := make([]*nettrails.BGPDeployment, members)
+	for i := 0; i < members; i++ {
+		d, err := nettrails.NewBGPDeployment(ases, links, nettrails.Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Eng.EnableCluster(trs[i]); err != nil {
+			t.Fatal(err)
+		}
+		pub, err := server.NewPublisherWithOptions(d.Eng,
+			server.PublisherOptions{Retain: markRetain, Shard: server.ShardSpec{Index: i, Total: members}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deps[i], pubs[i], marks[i] = d, pub, map[string]uint64{}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, members)
+	for i := 0; i < members; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					trs[rank].Close() // fail peers' barriers loudly
+					errs <- fmt.Errorf("member %d: %v", rank, r)
+				}
+			}()
+			if err := replayBGPTrace(deps[rank], func(label string) {
+				marks[rank][label] = pubs[rank].Current().Version
+			}); err != nil {
+				trs[rank].Close()
+				errs <- fmt.Errorf("member %d: %w", rank, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	final := refPub.Current().Version
+	for i := 0; i < members; i++ {
+		if !reflect.DeepEqual(marks[i], refMarks) {
+			t.Fatalf("member %d marks %v diverge from single-process marks %v", i, marks[i], refMarks)
+		}
+		if v := pubs[i].Current().Version; v != final {
+			t.Fatalf("member %d at version %d, single process at %d", i, v, final)
+		}
+	}
+	for label, v := range refMarks {
+		assertDigestParity(t, "mark "+label, refPub, pubs, v)
+	}
+	assertDigestParity(t, "final state", refPub, pubs, final)
+
+	// Graceful drain: every member closes cleanly after the replay.
+	for i, tr := range trs {
+		if err := tr.Close(); err != nil {
+			t.Fatalf("member %d close: %v", i, err)
+		}
+	}
+}
+
+// TestDistTCPPathVectorShipsFrames runs a path-vector protocol over the
+// TCP cluster. Unlike the BGP monitor (whose NDlog rules are all
+// node-local, so its distributed run ships no delta frames at all),
+// path-vector recursion derives tuples across node boundaries on every
+// link change — this test proves real remote deltas cross the wire and
+// still land byte-identically.
+func TestDistTCPPathVectorShipsFrames(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	nodes := nettrails.NodeNames(6)
+	script := func(sys *nettrails.System) error {
+		for i := 1; i < 6; i++ {
+			if err := sys.AddLink(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), 1); err != nil {
+				return err
+			}
+		}
+		// Churn: break the chain in the middle and reconnect around it.
+		if err := sys.RemoveLink("n3", "n4", 1); err != nil {
+			return err
+		}
+		return sys.AddLink("n2", "n5", 1)
+	}
+
+	ref, err := nettrails.NewSystem(nettrails.PathVector, nodes, nettrails.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPub, err := server.NewPublisher(ref.Engine, markRetain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := script(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	const members = 3
+	trs := tcpCluster(t, members)
+	pubs := make([]*server.Publisher, members)
+	systems := make([]*nettrails.System, members)
+	for i := 0; i < members; i++ {
+		sys, err := nettrails.NewSystem(nettrails.PathVector, nodes, nettrails.Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Engine.EnableCluster(trs[i]); err != nil {
+			t.Fatal(err)
+		}
+		pub, err := server.NewPublisherWithOptions(sys.Engine,
+			server.PublisherOptions{Retain: markRetain, Shard: server.ShardSpec{Index: i, Total: members}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i], pubs[i] = sys, pub
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, members)
+	for i := 0; i < members; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					trs[rank].Close()
+					errs <- fmt.Errorf("member %d: %v", rank, r)
+				}
+			}()
+			if err := script(systems[rank]); err != nil {
+				trs[rank].Close()
+				errs <- fmt.Errorf("member %d: %w", rank, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	final := refPub.Current().Version
+	for i := 0; i < members; i++ {
+		if v := pubs[i].Current().Version; v != final {
+			t.Fatalf("member %d at version %d, single process at %d", i, v, final)
+		}
+	}
+	assertDigestParity(t, "final state", refPub, pubs, final)
+
+	// The point of this protocol choice: remote deltas really crossed
+	// the TCP wire.
+	shipped := uint64(0)
+	for i := 0; i < members; i++ {
+		st := systems[i].Engine.ClusterStats()
+		shipped += st.FramesOut
+		if st.Rounds == 0 || st.Epochs == 0 {
+			t.Fatalf("member %d ran no distributed rounds: %+v", i, st)
+		}
+	}
+	if shipped == 0 {
+		t.Fatal("path-vector run shipped zero delta frames — the distributed path was not exercised")
+	}
+}

@@ -279,6 +279,15 @@ type Publisher struct {
 	infoDirty []int               // scratch: owned positions refreshed info-only
 	history   []logstore.Snapshot // append-only; wrapped via FromSorted
 
+	// Distributed-mode (engine.DistObserver) accumulation between cuts:
+	// Probe may run several times before Commit mints, so dirtiness is
+	// gathered sticky here. inDirty is parallel to owned and dedups
+	// pendingDirty; pendingChanged remembers that *some* owned node
+	// changed since the last Commit.
+	pendingDirty   []int
+	inDirty        []bool
+	pendingChanged bool
+
 	// Disk persistence (nil without a store; see PublisherOptions).
 	// verBase is the store's last version at attach time: minting
 	// resumes at verBase+1 after a restart, and the first publish is
@@ -332,9 +341,16 @@ func (p *Publisher) Shard() ShardSpec { return p.shard }
 // loops, tests), not for HTTP readers.
 func (p *Publisher) Engine() *engine.Engine { return p.eng }
 
-// Detach removes the publisher from the engine's epoch observer. The
-// already-published snapshots remain readable.
-func (p *Publisher) Detach() { p.eng.SetEpochObserver(nil) }
+// Detach removes the publisher from the engine's epoch (or, in a
+// distributed engine, cut) observer. The already-published snapshots
+// remain readable.
+func (p *Publisher) Detach() {
+	if p.eng.Clustered() {
+		p.eng.SetDistObserver(nil)
+		return
+	}
+	p.eng.SetEpochObserver(nil)
+}
 
 // Current returns the newest snapshot. Safe for concurrent use.
 func (p *Publisher) Current() *Snapshot {
@@ -419,7 +435,6 @@ func (p *Publisher) Publish() *Snapshot {
 		return prev.snaps[len(prev.snaps)-1]
 	}
 
-	now := p.eng.Net.Now()
 	// The first publish of a fresh deployment mints 1; after a restart
 	// with a snapshot store it resumes the store's dense sequence at
 	// verBase+1 (first=true made every owned node dirty above, so the
@@ -428,6 +443,69 @@ func (p *Publisher) Publish() *Snapshot {
 	if !first {
 		version = prev.snaps[len(prev.snaps)-1].Version + 1
 	}
+	return p.mint(version, p.dirty)
+}
+
+// Probe is the local half of the distributed observer contract
+// (engine.DistObserver): scan the owned nodes for changes since the
+// last Commit and report stickily. Only owned nodes are scanned — in a
+// distributed engine the unowned replicas miss the delta traffic that
+// executes at their owners, so their versions are meaningless here; the
+// whole-network change verdict is assembled by the engine from every
+// member's probe bit.
+func (p *Publisher) Probe() bool {
+	for i, n := range p.nodes {
+		oi := p.ownedIdx[i]
+		if oi < 0 {
+			continue
+		}
+		act := n.Activity()
+		if act == p.lastActivity[i] {
+			continue
+		}
+		p.lastActivity[i] = act
+		sv, pv := n.RT.Store.StateVersion(), n.Prov.Version()
+		if sv == p.lastState[i] && pv == p.lastProv[i] {
+			continue
+		}
+		p.lastState[i], p.lastProv[i] = sv, pv
+		p.pendingChanged = true
+		if !p.inDirty[oi] {
+			p.inDirty[oi] = true
+			p.pendingDirty = append(p.pendingDirty, oi)
+		}
+	}
+	return p.pendingChanged
+}
+
+// Commit is the cut half of the distributed observer contract: changed
+// is the OR of every member's probe bit at a global consistent cut.
+// When true a version is minted even if nothing changed locally — the
+// change happened at a peer, and the version sequence must stay dense
+// and identical across members (exactly the sharded-publisher rule in
+// Publish, with the whole-network scan replaced by the exchanged bit).
+// The initial snapshot comes from the constructor's Publish call, so a
+// previous version always exists.
+func (p *Publisher) Commit(changed bool) {
+	if !changed {
+		return
+	}
+	sort.Ints(p.pendingDirty)
+	prev := p.cur.Load().snaps
+	p.mint(prev[len(prev)-1].Version+1, p.pendingDirty)
+	for _, oi := range p.pendingDirty {
+		p.inDirty[oi] = false
+	}
+	p.pendingDirty = p.pendingDirty[:0]
+	p.pendingChanged = false
+}
+
+// mint builds and publishes the snapshot with the given version,
+// rebuilding the owned positions listed in dirty (ascending). It is the
+// shared back half of Publish and Commit.
+func (p *Publisher) mint(version uint64, dirty []int) *Snapshot {
+	prev := p.cur.Load()
+	now := p.eng.Net.Now()
 
 	// Pass 2 — rebuild only the dirty owned partitions. FreezeAll and
 	// View are persistent handoffs (O(1) per unchanged table, O(dirty
@@ -435,7 +513,7 @@ func (p *Publisher) Publish() *Snapshot {
 	// rides into the new snapshot untouched.
 	states := make([]*nodeState, len(p.states))
 	copy(states, p.states)
-	for _, oi := range p.dirty {
+	for _, oi := range dirty {
 		addr := p.owned[oi]
 		n := p.ownedNodes[oi]
 		tables, count := n.RT.Store.FreezeAll()
@@ -482,7 +560,7 @@ func (p *Publisher) Publish() *Snapshot {
 	}
 	p.states = states
 	if p.store != nil {
-		p.teeToStore(version, now, states)
+		p.teeToStore(version, now, states, dirty)
 	}
 	p.trimHistory()
 

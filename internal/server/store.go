@@ -94,9 +94,18 @@ func NewPublisherWithOptions(eng *engine.Engine, opts PublisherOptions) (*Publis
 		p.diskCache = map[uint64]*Snapshot{}
 	}
 	p.states = make([]*nodeState, len(p.owned))
+	p.inDirty = make([]bool, len(p.owned))
 	p.cur.Store(&ring{})
+	// The initial snapshot is built by a direct Publish either way: at
+	// attach time a distributed engine's replicas are still identical
+	// (nothing has diverged before the first clustered drain), so every
+	// member mints a consistent version 1.
 	p.Publish()
-	eng.SetEpochObserver(func() { p.Publish() })
+	if eng.Clustered() {
+		eng.SetDistObserver(p)
+	} else {
+		eng.SetEpochObserver(func() { p.Publish() })
+	}
 	return p, nil
 }
 
@@ -148,9 +157,9 @@ func publishedInfo(addr string, info provstore.Info) NodeInfo {
 // failed append is fatal — the store was requested, and continuing
 // would silently break the no-eviction contract and leave a version
 // gap the store can never fill.
-func (p *Publisher) teeToStore(version uint64, now simnet.Time, states []*nodeState) {
+func (p *Publisher) teeToStore(version uint64, now simnet.Time, states []*nodeState, dirty []int) {
 	in := provstore.VersionInput{Version: version, Time: int64(now)}
-	for _, oi := range p.dirty {
+	for _, oi := range dirty {
 		st := states[oi]
 		in.States = append(in.States, provstore.NodeState{
 			OwnedIdx: oi,

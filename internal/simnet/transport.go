@@ -1,0 +1,140 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Transport is the cross-process exchange primitive behind the
+// distributed engine. One Exchange call is both the epoch barrier and
+// the all-to-all data move for one protocol step: every member calls
+// Exchange with the same step and phase, contributes its payload, and
+// unblocks only once every peer's payload for that step has arrived.
+// The result is indexed by member rank; the caller's own slot is nil.
+//
+// Steps are strictly increasing per member; phase disambiguates the
+// sub-steps within one engine round (frames vs propose). Implementations
+// must deliver payloads intact and in step order — the engine's
+// determinism proof assumes a reliable, ordered exchange, so transports
+// over lossy media (internal/nettransport over TCP with fault
+// injection) must repair or fail loudly, never deliver corrupt or
+// reordered data.
+//
+// The in-memory implementation is MemCluster (shared-memory barriers);
+// internal/nettransport provides the TCP implementation.
+type Transport interface {
+	// Exchange publishes payload for (step, phase), waits for all
+	// peers' payloads for the same (step, phase), and returns them
+	// indexed by member rank (own slot nil). It is an error to reuse or
+	// decrease step, and to call Exchange after Close.
+	Exchange(step uint64, phase uint8, payload []byte) ([][]byte, error)
+	// Self returns this member's rank in [0, Size).
+	Self() int
+	// Size returns the number of members.
+	Size() int
+	// Close tears the member down. Peers blocked in Exchange waiting on
+	// this member fail with ErrClosed rather than hanging.
+	Close() error
+}
+
+// ErrClosed is returned by Exchange once any member of the cluster has
+// been closed (locally or, for MemCluster, any peer).
+var ErrClosed = errors.New("transport: closed")
+
+// MemCluster is the in-memory Transport: n members exchanging payloads
+// through shared memory under one lock. It exists so the distributed
+// engine protocol can be exercised hermetically (no sockets) and so
+// in-process multi-engine tests stay fast and deterministic.
+type MemCluster struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	size   int
+	closed bool
+	// slots[step][phase] accumulates payloads for one exchange. Entries
+	// are garbage-collected once all members have read them.
+	slots map[memKey]*memSlot
+}
+
+type memKey struct {
+	step  uint64
+	phase uint8
+}
+
+type memSlot struct {
+	payloads [][]byte
+	present  int
+	read     int
+}
+
+// NewMemCluster creates an in-memory cluster of n members.
+func NewMemCluster(n int) *MemCluster {
+	c := &MemCluster{size: n, slots: map[memKey]*memSlot{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Member returns the Transport handle for rank self.
+func (c *MemCluster) Member(self int) Transport {
+	if self < 0 || self >= c.size {
+		panic(fmt.Sprintf("simnet: member rank %d out of range [0,%d)", self, c.size))
+	}
+	return &memMember{c: c, self: self}
+}
+
+// Close marks the whole cluster closed, waking every blocked Exchange.
+func (c *MemCluster) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nil
+}
+
+type memMember struct {
+	c    *MemCluster
+	self int
+	step uint64
+	init bool
+}
+
+func (m *memMember) Self() int    { return m.self }
+func (m *memMember) Size() int    { return m.c.size }
+func (m *memMember) Close() error { return m.c.Close() }
+
+func (m *memMember) Exchange(step uint64, phase uint8, payload []byte) ([][]byte, error) {
+	if m.init && step <= m.step {
+		return nil, fmt.Errorf("transport: step %d not after %d", step, m.step)
+	}
+	m.init, m.step = true, step
+
+	c := m.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	k := memKey{step, phase}
+	s, ok := c.slots[k]
+	if !ok {
+		s = &memSlot{payloads: make([][]byte, c.size)}
+		c.slots[k] = s
+	}
+	s.payloads[m.self] = payload
+	s.present++
+	c.cond.Broadcast()
+	for s.present < c.size && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed && s.present < c.size {
+		return nil, ErrClosed
+	}
+	out := make([][]byte, c.size)
+	copy(out, s.payloads)
+	out[m.self] = nil
+	s.read++
+	if s.read == c.size {
+		delete(c.slots, k)
+	}
+	return out, nil
+}

@@ -14,6 +14,11 @@
 // Compatibility wrappers that deliberately start a fresh root (the
 // context-free Query entry points) carry //lint:allow ctxflow
 // justifications.
+//
+// The TCP cluster transport (internal/nettransport) is in scope too:
+// Dial's caller owns the lifetime of every dial retry and blocked
+// exchange, so the transport must thread the caller's ctx rather than
+// minting its own root.
 package ctxflow
 
 import (
@@ -38,6 +43,7 @@ var scope = []string{
 	"repro/internal/gateway",
 	"repro/internal/provgraph",
 	"repro/internal/provquery",
+	"repro/internal/nettransport",
 	"repro/client",
 }
 

@@ -1,7 +1,7 @@
 // Package walltime flags wall-clock and ambient-randomness reads in
 // the deterministic simulation core. Inside
-// internal/{simnet,engine,eval,rel,provenance,provstore} the only
-// clock is the virtual instant (simnet.Time) and the only randomness is a seeded
+// internal/{simnet,engine,eval,rel,provenance,provstore,nettransport}
+// the only clock is the virtual instant (simnet.Time) and the only randomness is a seeded
 // *rand.Rand owned by the scenario: a stray time.Now or global
 // rand.Intn makes two runs of the same trace diverge, which breaks the
 // byte-parity guarantee every provenance digest rests on.
@@ -40,6 +40,12 @@ var scope = []string{
 	// otherwise two runs of the same trace produce different bytes on
 	// disk and the byte-parity acceptance checks break.
 	"repro/internal/provstore",
+	// The TCP transport carries the epoch protocol between real
+	// processes. Its data plane (framing, exchange ordering, dedup)
+	// must stay deterministic; only the loss-recovery edges — dial
+	// backoff and retransmit timeouts — may touch the wall clock, and
+	// each such site carries a //lint:allow walltime justification.
+	"repro/internal/nettransport",
 }
 
 // forbiddenTime is every package-level reader of the wall clock or
